@@ -1,0 +1,143 @@
+// Command greenviz regenerates the paper's tables and figures from the
+// command line.
+//
+// Usage:
+//
+//	greenviz -list
+//	greenviz -experiment fig10
+//	greenviz -experiment all -seed 7
+//	greenviz -experiment fig5 -csv /tmp/profiles
+//
+// Each experiment prints the rows or ASCII-rendered series the paper
+// reports, plus the paper's published values for comparison. -csv
+// additionally dumps the power profiles of the case-study runs as CSV
+// for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	greenviz "repro"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		expID        = flag.String("experiment", "", "experiment id (see -list), or \"all\"")
+		list         = flag.Bool("list", false, "list available experiments")
+		seed         = flag.Uint64("seed", 1, "master seed; equal seeds give identical output")
+		realSubsteps = flag.Int("real-substeps", 16, "solver sub-steps computed per iteration (<= 1536); higher is more faithful, slower")
+		fioGiB       = flag.Int("fio-gib", 4, "fio test file size in GiB (Table III uses 4)")
+		csvDir       = flag.String("csv", "", "directory to dump case-study power profiles as CSV")
+
+		pipeline  = flag.String("pipeline", "", "run one pipeline instead of an experiment: post, insitu, intransit")
+		app       = flag.String("app", "heat", "proxy application: heat, ocean")
+		device    = flag.String("device", "hdd", "storage device: hdd, ssd, raid4, nvram")
+		caseIdx   = flag.Int("case", 1, "case study number (1..3)")
+		framesDir = flag.String("frames", "", "directory to dump rendered PNG frames (pipeline mode)")
+	)
+	flag.Parse()
+
+	if *pipeline != "" {
+		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *framesDir); err != nil {
+			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, e := range greenviz.Experiments() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "greenviz: pass -experiment <id> or -list")
+		os.Exit(2)
+	}
+
+	cfg := greenviz.DefaultConfig()
+	if *realSubsteps > 0 {
+		if *realSubsteps > cfg.SubstepsPerIteration {
+			*realSubsteps = cfg.SubstepsPerIteration
+		}
+		cfg.RealSubsteps = *realSubsteps
+	}
+	suite := greenviz.NewSuite(*seed, &cfg)
+	suite.Fio.FileSize = units.Bytes(*fioGiB) * units.GiB
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = ids[:0]
+		for _, e := range greenviz.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		r, err := greenviz.RunExperiment(suite, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n%s\n%s\n", r.ID, r.Title, r.Body)
+	}
+
+	if *csvDir != "" {
+		if err := dumpCSVs(suite, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "greenviz: csv dump: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpCSVs writes the power profile of every cached case-study run.
+func dumpCSVs(s *greenviz.Suite, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := 0
+	for _, cs := range greenviz.CaseStudies() {
+		for _, p := range []greenviz.Pipeline{greenviz.PostProcessing, greenviz.InSitu} {
+			res := suiteRun(s, p, cs)
+			if res == nil {
+				continue
+			}
+			name := fmt.Sprintf("%s-%s.csv", p, strings.ReplaceAll(strings.ToLower(cs.Name), " ", "-"))
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			if err := res.Profile.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	fmt.Printf("wrote %d profile CSVs to %s\n", n, dir)
+	return nil
+}
+
+// suiteRun peeks at the suite's cache through the comparison helpers;
+// it triggers the runs if the chosen experiments didn't already.
+func suiteRun(s *greenviz.Suite, p greenviz.Pipeline, cs greenviz.CaseStudy) *core.RunResult {
+	for i, c := range greenviz.CaseStudies() {
+		if c.Name == cs.Name {
+			cmp := s.ComparisonFor(i)
+			if p == greenviz.PostProcessing {
+				return cmp.Post
+			}
+			return cmp.InSitu
+		}
+	}
+	return nil
+}

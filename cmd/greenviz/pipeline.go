@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	greenviz "repro"
+)
+
+// runPipeline executes one explicit pipeline configuration (the CLI's
+// -pipeline mode) and prints its measurements.
+func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSubsteps int, framesDir string) error {
+	var platform greenviz.Platform
+	switch device {
+	case "hdd", "":
+		platform = greenviz.SandyBridge()
+	case "ssd":
+		platform = greenviz.SandyBridgeSSD()
+	case "raid4":
+		platform = greenviz.SandyBridge()
+		platform.RAIDMembers = 4
+		platform.RAIDStripe = 256 * greenviz.KiB
+	case "nvram":
+		p := greenviz.SandyBridge()
+		nv := greenviz.DefaultNVRAM()
+		p.NVRAM = &nv
+		platform = p
+	default:
+		return fmt.Errorf("unknown device %q (hdd, ssd, raid4, nvram)", device)
+	}
+
+	cfg := greenviz.DefaultConfig()
+	if realSubsteps > 0 {
+		if realSubsteps > cfg.SubstepsPerIteration {
+			realSubsteps = cfg.SubstepsPerIteration
+		}
+		cfg.RealSubsteps = realSubsteps
+	}
+	cfg.RetainFrames = framesDir != ""
+	switch app {
+	case "heat", "":
+	case "ocean":
+		cfg.NewSimulator = func() greenviz.Simulator {
+			return greenviz.NewOceanSolver(greenviz.DefaultOceanParams())
+		}
+		cfg.Render.Colormap = greenviz.CoolWarmColormap()
+		cfg.Render.Isolines = []float64{0}
+	default:
+		return fmt.Errorf("unknown app %q (heat, ocean)", app)
+	}
+
+	cases := greenviz.CaseStudies()
+	if caseIdx < 1 || caseIdx > len(cases) {
+		return fmt.Errorf("case %d out of range 1..%d", caseIdx, len(cases))
+	}
+	cs := cases[caseIdx-1]
+
+	switch pipeline {
+	case "post":
+		printRun(greenviz.Run(greenviz.NewNode(platform, seed), greenviz.PostProcessing, cs, cfg), framesDir)
+	case "insitu":
+		printRun(greenviz.Run(greenviz.NewNode(platform, seed), greenviz.InSitu, cs, cfg), framesDir)
+	case "intransit":
+		r := greenviz.RunInTransit(greenviz.NewCluster(platform, greenviz.TenGigE(), seed), cs, cfg)
+		fmt.Printf("pipeline: in-transit (%s, %s, device %s)\n", cs.Name, appName(app), device)
+		fmt.Printf("  makespan        %10.1f s\n", float64(r.ExecTime))
+		fmt.Printf("  sim-node energy %12s\n", r.SimEnergy)
+		fmt.Printf("  staging energy  %12s\n", r.StagingEnergy)
+		fmt.Printf("  cluster energy  %12s\n", r.TotalEnergy)
+		fmt.Printf("  network moved   %12s in %d transfers\n", r.BytesSent, r.Frames)
+	default:
+		return fmt.Errorf("unknown pipeline %q (post, insitu, intransit)", pipeline)
+	}
+	return nil
+}
+
+func appName(app string) string {
+	if app == "" {
+		return "heat"
+	}
+	return app
+}
+
+// printRun reports a single-node run and optionally dumps its frames.
+func printRun(r *greenviz.Result, framesDir string) {
+	fmt.Printf("pipeline: %s (%s)\n", r.Pipeline, r.Case.Name)
+	fmt.Printf("  execution time  %10.1f s\n", float64(r.ExecTime))
+	fmt.Printf("  average power   %12s\n", r.AvgPower)
+	fmt.Printf("  peak power      %12s\n", r.PeakPower)
+	fmt.Printf("  energy          %12s\n", r.Energy)
+	fmt.Printf("  frames          %12d (checksum %016x)\n", r.Frames, r.FrameChecksum)
+	for _, st := range []string{"simulation", "nnwrite", "nnread", "visualization"} {
+		if d, ok := r.StageTime[st]; ok {
+			fmt.Printf("  stage %-13s %8.1f s (%.0f%%)\n", st, float64(d), float64(d)/float64(r.ExecTime)*100)
+		}
+	}
+	if framesDir != "" {
+		if err := os.MkdirAll(framesDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
+			return
+		}
+		for i, png := range r.FramePNGs {
+			name := filepath.Join(framesDir, fmt.Sprintf("frame-%04d.png", i))
+			if err := os.WriteFile(name, png, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
+				return
+			}
+		}
+		fmt.Printf("  wrote %d frames to %s\n", len(r.FramePNGs), framesDir)
+	}
+}

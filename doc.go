@@ -1,0 +1,36 @@
+// Package greenviz reproduces "On the Greenness of In-Situ and
+// Post-Processing Visualization Pipelines" (Adhinarayanan, Feng,
+// Woodring, Rogers, Ahrens — IEEE IPDPSW 2015) as a calibrated,
+// deterministic simulation in pure Go.
+//
+// The paper is an empirical study of one instrumented machine; this
+// library rebuilds that machine — CPU/DRAM/disk power models, a
+// mechanical 7200 rpm disk with a write-back page cache and an extent
+// filesystem, Intel RAPL energy counters, a Wattsup wall meter — and
+// runs the paper's proxy heat-transfer application through both
+// visualization pipelines on top of it:
+//
+//	post-processing:  simulate → write checkpoints → read back → render
+//	in-situ:          simulate → render live → flush frames
+//
+// Everything computes real data in virtual time: the heat solver and
+// the renderer do genuine numerical work, while a discrete-event
+// kernel charges calibrated virtual seconds and watts for it. Every
+// run is bit-reproducible from a seed.
+//
+// # Quick start
+//
+//	n := greenviz.NewNode(greenviz.SandyBridge(), 1)
+//	post := greenviz.Run(n, greenviz.PostProcessing, greenviz.CaseStudies()[0], greenviz.DefaultConfig())
+//	n2 := greenviz.NewNode(greenviz.SandyBridge(), 2)
+//	insitu := greenviz.Run(n2, greenviz.InSitu, greenviz.CaseStudies()[0], greenviz.DefaultConfig())
+//	c := greenviz.Compare(post, insitu)
+//	fmt.Printf("in-situ saves %.0f%% energy\n", c.EnergySavingsPct())
+//
+// # Regenerating the paper
+//
+// Every table and figure in the evaluation has a driver (see
+// Experiments and RunExperiment, or the greenviz CLI under
+// cmd/greenviz) and a benchmark in bench_test.go. EXPERIMENTS.md
+// records paper-versus-measured for each artifact.
+package greenviz

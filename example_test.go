@@ -1,0 +1,79 @@
+package greenviz_test
+
+import (
+	"fmt"
+
+	greenviz "repro"
+)
+
+// tinyConfig keeps the documented examples fast: few real sub-steps,
+// a short case study. Virtual-time behaviour is unchanged.
+func tinyConfig() greenviz.Config {
+	cfg := greenviz.DefaultConfig()
+	cfg.RealSubsteps = 4
+	return cfg
+}
+
+// ExampleRun executes one in-situ run and inspects its measurements.
+func ExampleRun() {
+	cs := greenviz.CaseStudy{Name: "demo", Iterations: 5, IOInterval: 1}
+	n := greenviz.NewNode(greenviz.SandyBridge(), 1)
+	res := greenviz.Run(n, greenviz.InSitu, cs, tinyConfig())
+	fmt.Println("frames:", res.Frames)
+	fmt.Println("consumed energy:", res.Energy > 0)
+	fmt.Println("peak above average:", res.PeakPower > res.AvgPower)
+	// Output:
+	// frames: 5
+	// consumed energy: true
+	// peak above average: true
+}
+
+// ExampleCompare reproduces the paper's head-to-head comparison shape.
+func ExampleCompare() {
+	cs := greenviz.CaseStudies()[0] // I/O every iteration
+	post := greenviz.Run(greenviz.NewNode(greenviz.SandyBridge(), 1), greenviz.PostProcessing, cs, tinyConfig())
+	insitu := greenviz.Run(greenviz.NewNode(greenviz.SandyBridge(), 2), greenviz.InSitu, cs, tinyConfig())
+	c := greenviz.Compare(post, insitu)
+
+	fmt.Println("in-situ uses less energy:", c.EnergySavingsPct() > 30)
+	fmt.Println("at higher average power:", c.AvgPowerIncreasePct() > 0)
+	fmt.Println("identical frames:", post.FrameChecksum == insitu.FrameChecksum)
+
+	b := c.Breakdown(10.15, 104.5)
+	fmt.Println("savings mostly static:", b.StaticSharePct() > 80)
+	// Output:
+	// in-situ uses less energy: true
+	// at higher average power: true
+	// identical frames: true
+	// savings mostly static: true
+}
+
+// ExampleAdvise shows the Future Work runtime recommending data
+// reorganization for a random-I/O application (§V-D).
+func ExampleAdvise() {
+	a := greenviz.Advise(greenviz.SandyBridge(), greenviz.WorkloadSpec{
+		Name:           "random-io-app",
+		ReadBytes:      4 * greenviz.GiB,
+		WriteBytes:     4 * greenviz.GiB,
+		OpSize:         16 * greenviz.KiB,
+		RandomFraction: 1,
+		SpanBytes:      4 * greenviz.GiB,
+	})
+	fmt.Println("recommended:", a.Recommended)
+	fmt.Println("keeps exploratory analysis:", a.Reorganized.Exploratory)
+	// Output:
+	// recommended: reorganized post-processing
+	// keeps exploratory analysis: true
+}
+
+// ExampleRunFio runs one Table III disk test at reduced size.
+func ExampleRunFio() {
+	cfg := greenviz.DefaultFioConfig()
+	cfg.FileSize = 256 * greenviz.MiB
+	n := greenviz.NewNode(greenviz.SandyBridge(), 7)
+	seq := greenviz.RunFio(n, greenviz.FioSeqRead, cfg)
+	rand := greenviz.RunFio(n, greenviz.FioRandRead, cfg)
+	fmt.Println("random reads far slower:", rand.ExecTime > 10*seq.ExecTime)
+	// Output:
+	// random reads far slower: true
+}

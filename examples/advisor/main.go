@@ -1,0 +1,66 @@
+// Advisor demonstrates the runtime the paper's Future Work proposes: a
+// power model that estimates disk time and energy from an
+// application's access counts, sizes, and patterns, then recommends a
+// pipeline strategy — in-situ, data reorganization, or leave it alone.
+package main
+
+import (
+	"fmt"
+
+	greenviz "repro"
+)
+
+func main() {
+	workloads := []greenviz.WorkloadSpec{
+		{
+			Name:           "checkpoint-heavy climate run (sequential)",
+			ReadBytes:      32 * greenviz.GiB,
+			WriteBytes:     32 * greenviz.GiB,
+			OpSize:         4 * greenviz.MiB,
+			RandomFraction: 0.05,
+			SpanBytes:      32 * greenviz.GiB,
+		},
+		{
+			Name:           "particle-tracing analysis (random reads)",
+			ReadBytes:      4 * greenviz.GiB,
+			WriteBytes:     256 * greenviz.MiB,
+			OpSize:         16 * greenviz.KiB,
+			RandomFraction: 0.9,
+			SpanBytes:      4 * greenviz.GiB,
+		},
+		{
+			Name:           "fio-style random mix (the paper's §V-D case)",
+			ReadBytes:      4 * greenviz.GiB,
+			WriteBytes:     4 * greenviz.GiB,
+			OpSize:         16 * greenviz.KiB,
+			RandomFraction: 1,
+			SpanBytes:      4 * greenviz.GiB,
+		},
+	}
+
+	// The runtime can also *observe* a workload instead of being told:
+	// run the real post-processing pipeline briefly and classify its
+	// disk traffic.
+	obsNode := greenviz.NewNode(greenviz.SandyBridge(), 99)
+	cfg := greenviz.DefaultConfig()
+	cfg.RealSubsteps = 8
+	greenviz.Run(obsNode, greenviz.PostProcessing,
+		greenviz.CaseStudy{Name: "observed", Iterations: 6, IOInterval: 1}, cfg)
+	observed := greenviz.ObserveWorkload("observed proxy run", obsNode.DiskStats())
+	fmt.Printf("observed from a live run: %.1f GiB read, %.1f GiB written, %.0f%% random\n\n",
+		float64(observed.ReadBytes)/float64(greenviz.GiB),
+		float64(observed.WriteBytes)/float64(greenviz.GiB),
+		observed.RandomFraction*100)
+	workloads = append(workloads, observed)
+
+	platform := greenviz.SandyBridge()
+	for _, w := range workloads {
+		a := greenviz.Advise(platform, w)
+		fmt.Printf("workload: %s\n", w.Name)
+		fmt.Printf("  as-is:        %8.1f s  %10s\n", float64(a.AsIs.Time), a.AsIs.SystemEnergy)
+		fmt.Printf("  reorganized:  %8.1f s  %10s\n", float64(a.Reorganized.Time), a.Reorganized.SystemEnergy)
+		fmt.Printf("  in-situ:      %8.1f s  %10s  (no exploratory analysis)\n",
+			float64(a.InSitu.Time), a.InSitu.SystemEnergy)
+		fmt.Printf("  => recommend %s\n     %s\n\n", a.Recommended, a.Reason)
+	}
+}

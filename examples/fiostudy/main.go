@@ -1,0 +1,41 @@
+// Fiostudy regenerates Table III — the fio sequential/random disk
+// tests — on both the paper's hard disk and the Future Work SSD, and
+// walks through the §V-D argument that data reorganization can make
+// post-processing nearly as green as in-situ.
+package main
+
+import (
+	"fmt"
+
+	greenviz "repro"
+)
+
+func main() {
+	cfg := greenviz.DefaultFioConfig()
+	cfg.FileSize = 1 * greenviz.GiB // scale the 4 GiB tests down 4x for a quick demo
+
+	for _, platform := range []struct {
+		name string
+		p    greenviz.Platform
+	}{
+		{"HDD (paper's Seagate 7200 rpm)", greenviz.SandyBridge()},
+		{"SSD (future-work device)", greenviz.SandyBridgeSSD()},
+	} {
+		fmt.Printf("=== %s ===\n", platform.name)
+		fmt.Printf("%-18s %10s %10s %10s %12s\n", "test", "time", "system", "disk dyn", "energy")
+		n := greenviz.NewNode(platform.p, 42)
+		results := greenviz.RunAllFio(n, cfg)
+		for _, r := range results {
+			fmt.Printf("%-18s %9.1fs %10s %10s %12s\n",
+				r.Kind, float64(r.ExecTime), r.FullSystemPower, r.DiskDynPower, r.FullSystemEnergy)
+		}
+		randomTotal := results[1].FullSystemEnergy + results[3].FullSystemEnergy
+		seqTotal := results[0].FullSystemEnergy + results[2].FullSystemEnergy
+		fmt.Printf("\nRandom-I/O app total: %s; after reorganization: %s (%.1fx less)\n\n",
+			randomTotal, seqTotal, float64(randomTotal)/float64(seqTotal))
+	}
+
+	fmt.Println("§V-D: on the HDD, reorganizing data recovers nearly all of the energy an")
+	fmt.Println("in-situ conversion would save — while keeping exploratory analysis. On the")
+	fmt.Println("SSD the random-read penalty (and thus the argument) largely disappears.")
+}

@@ -1,0 +1,70 @@
+package greenviz
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartFlow exercises the README's quick-start path through
+// the public API only.
+func TestQuickstartFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RealSubsteps = 4
+	cs := CaseStudies()[0]
+
+	post := Run(NewNode(SandyBridge(), 1), PostProcessing, cs, cfg)
+	insitu := Run(NewNode(SandyBridge(), 2), InSitu, cs, cfg)
+	c := Compare(post, insitu)
+
+	if s := c.EnergySavingsPct(); s < 30 || s > 55 {
+		t.Errorf("energy savings = %.1f%%, want the paper's ~43%%", s)
+	}
+	if post.Frames != 50 || insitu.Frames != 50 {
+		t.Errorf("frames = %d/%d, want 50 each", post.Frames, insitu.Frames)
+	}
+	if post.FrameChecksum != insitu.FrameChecksum {
+		t.Error("pipelines rendered different frames")
+	}
+}
+
+func TestExperimentsRegistryViaFacade(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 22 {
+		t.Fatalf("Experiments() = %d entries, want 22", len(exps))
+	}
+	s := NewSuite(3, nil)
+	r, err := RunExperiment(s, "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Body, "Xeon") {
+		t.Errorf("table1 body:\n%s", r.Body)
+	}
+	if _, err := RunExperiment(s, "nope"); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+}
+
+func TestAdvisorViaFacade(t *testing.T) {
+	a := Advise(SandyBridge(), WorkloadSpec{
+		Name:           "app",
+		ReadBytes:      GiB,
+		WriteBytes:     GiB,
+		OpSize:         16 * KiB,
+		RandomFraction: 1,
+		SpanBytes:      GiB,
+	})
+	if a.Recommended == "" {
+		t.Error("advisor returned no recommendation")
+	}
+}
+
+func TestSSDPlatformDiffers(t *testing.T) {
+	hdd, ssd := SandyBridge(), SandyBridgeSSD()
+	if ssd.Disk.SeqReadBW <= hdd.Disk.SeqReadBW {
+		t.Error("SSD not faster than HDD")
+	}
+	if ssd.Disk.IdlePower >= hdd.Disk.IdlePower {
+		t.Error("SSD idle power not below HDD")
+	}
+}

@@ -1,0 +1,187 @@
+// Package checkpoint defines the binary on-disk format the proxy
+// application writes each I/O event and the post-processing pipeline
+// reads back: a fixed header, the raw temperature field (CRC-protected),
+// and a bulk time-history payload.
+//
+// The header and field are real bytes that round-trip through the
+// simulated filesystem; the history payload — the bulk of a checkpoint,
+// whose values the visualizer never consumes — is written sparsely so a
+// 200 MiB checkpoint costs 200 MiB of simulated I/O without 200 MiB of
+// host RAM.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/heat"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+// Magic identifies a checkpoint file.
+const Magic = "GVCKPT01"
+
+// HeaderSize is the fixed encoded header length in bytes.
+const HeaderSize = 8 + 4 + 8 + 8 + 4 + 4 + 8 + 4
+
+// Header describes one checkpoint.
+type Header struct {
+	Version      uint32
+	Step         uint64  // solver sub-steps at capture time
+	SimTime      float64 // simulated physical time
+	NX, NY       uint32
+	PayloadBytes uint64 // bulk history payload length
+	GridCRC      uint32 // CRC-32 (IEEE) of the encoded field
+}
+
+// ErrCorrupt reports a failed magic, bounds, or CRC check.
+var ErrCorrupt = errors.New("checkpoint: corrupt data")
+
+// encodeHeader serializes h (little-endian, fixed layout).
+func encodeHeader(h Header) []byte {
+	buf := bytes.NewBuffer(make([]byte, 0, HeaderSize))
+	buf.WriteString(Magic)
+	for _, v := range []any{h.Version, h.Step, math.Float64bits(h.SimTime), h.NX, h.NY, h.PayloadBytes, h.GridCRC} {
+		binary.Write(buf, binary.LittleEndian, v) //nolint:errcheck // bytes.Buffer cannot fail
+	}
+	return buf.Bytes()
+}
+
+// decodeHeader parses and validates a header.
+func decodeHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(b))
+	}
+	if string(b[:8]) != Magic {
+		return Header{}, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:8])
+	}
+	var h Header
+	r := bytes.NewReader(b[8:])
+	var simBits uint64
+	for _, v := range []any{&h.Version, &h.Step, &simBits, &h.NX, &h.NY, &h.PayloadBytes, &h.GridCRC} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return Header{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	h.SimTime = math.Float64frombits(simBits)
+	return h, nil
+}
+
+// encodeGrid serializes the field data little-endian.
+func encodeGrid(g *heat.Grid) []byte {
+	out := make([]byte, g.NX*g.NY*8)
+	for i, v := range g.Data {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// decodeGrid reconstructs a field from encoded bytes.
+func decodeGrid(b []byte, nx, ny int) *heat.Grid {
+	g := heat.NewGrid(nx, ny)
+	for i := range g.Data {
+		g.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return g
+}
+
+// Write serializes a checkpoint into f: header + field (real bytes) +
+// payload (sparse). It does not fsync; the pipeline controls syncing.
+func Write(f *storage.File, g *heat.Grid, step uint64, simTime float64, payload units.Bytes) {
+	if payload < 0 {
+		panic("checkpoint: negative payload size")
+	}
+	grid := encodeGrid(g)
+	h := Header{
+		Version:      1,
+		Step:         step,
+		SimTime:      simTime,
+		NX:           uint32(g.NX),
+		NY:           uint32(g.NY),
+		PayloadBytes: uint64(payload),
+		GridCRC:      crc32.ChecksumIEEE(grid),
+	}
+	f.WriteAt(encodeHeader(h), 0)
+	f.WriteAt(grid, HeaderSize)
+	if payload > 0 {
+		f.WriteSparseAt(HeaderSize+units.Bytes(len(grid)), payload)
+	}
+}
+
+// TotalSize returns the on-disk size of a checkpoint of the given grid
+// and payload.
+func TotalSize(nx, ny int, payload units.Bytes) units.Bytes {
+	return HeaderSize + units.Bytes(nx*ny*8) + payload
+}
+
+// EncodePrefix serializes the retained prefix of a checkpoint — header
+// plus field bytes — for stores that keep content themselves (the
+// parallel filesystem ships this blob; the bulk payload is sparse).
+func EncodePrefix(g *heat.Grid, step uint64, simTime float64, payload units.Bytes) []byte {
+	grid := encodeGrid(g)
+	h := Header{
+		Version:      1,
+		Step:         step,
+		SimTime:      simTime,
+		NX:           uint32(g.NX),
+		NY:           uint32(g.NY),
+		PayloadBytes: uint64(payload),
+		GridCRC:      crc32.ChecksumIEEE(grid),
+	}
+	return append(encodeHeader(h), grid...)
+}
+
+// DecodePrefix parses an EncodePrefix blob, verifying magic and CRC.
+func DecodePrefix(b []byte) (Header, *heat.Grid, error) {
+	h, err := decodeHeader(b)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	const maxDim = 1 << 16
+	if h.NX == 0 || h.NY == 0 || h.NX > maxDim || h.NY > maxDim {
+		return Header{}, nil, fmt.Errorf("%w: implausible grid %dx%d", ErrCorrupt, h.NX, h.NY)
+	}
+	gridBytes := int(h.NX) * int(h.NY) * 8
+	if len(b) < HeaderSize+gridBytes {
+		return Header{}, nil, fmt.Errorf("%w: prefix truncated", ErrCorrupt)
+	}
+	gb := b[HeaderSize : HeaderSize+gridBytes]
+	if crc := crc32.ChecksumIEEE(gb); crc != h.GridCRC {
+		return Header{}, nil, fmt.Errorf("%w: grid CRC %08x != header %08x", ErrCorrupt, crc, h.GridCRC)
+	}
+	return h, decodeGrid(gb, int(h.NX), int(h.NY)), nil
+}
+
+// Read deserializes a checkpoint from f, charging full read timing for
+// header, field, and payload, and verifying magic and CRC.
+func Read(f *storage.File) (Header, *heat.Grid, error) {
+	hb := make([]byte, HeaderSize)
+	f.ReadAt(hb, 0)
+	h, err := decodeHeader(hb)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	const maxDim = 1 << 16
+	if h.NX == 0 || h.NY == 0 || h.NX > maxDim || h.NY > maxDim {
+		return Header{}, nil, fmt.Errorf("%w: implausible grid %dx%d", ErrCorrupt, h.NX, h.NY)
+	}
+	gridBytes := units.Bytes(h.NX) * units.Bytes(h.NY) * 8
+	if HeaderSize+gridBytes+units.Bytes(h.PayloadBytes) > f.Size() {
+		return Header{}, nil, fmt.Errorf("%w: sizes exceed file length", ErrCorrupt)
+	}
+	gb := make([]byte, gridBytes)
+	f.ReadAt(gb, HeaderSize)
+	if crc := crc32.ChecksumIEEE(gb); crc != h.GridCRC {
+		return Header{}, nil, fmt.Errorf("%w: grid CRC %08x != header %08x", ErrCorrupt, crc, h.GridCRC)
+	}
+	// Stream the history payload (timing only; contents unused).
+	if h.PayloadBytes > 0 {
+		f.ReadSparseAt(HeaderSize+gridBytes, units.Bytes(h.PayloadBytes))
+	}
+	return h, decodeGrid(gb, int(h.NX), int(h.NY)), nil
+}

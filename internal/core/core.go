@@ -1,0 +1,538 @@
+// Package core implements the paper's primary contribution: the two
+// instrumented visualization pipelines — post-processing (simulate →
+// write → read → visualize) and in-situ (visualize alongside the
+// simulation) — their case-study configurations, and the greenness
+// analysis the paper performs on them: performance, average and peak
+// power, energy, energy efficiency, the dynamic-vs-static breakdown of
+// the in-situ savings (§V-C), and the data-reorganization advisor of
+// §V-D and the Future Work section.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/checkpoint"
+	"repro/internal/field"
+	"repro/internal/heat"
+	"repro/internal/node"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/viz"
+)
+
+// Pipeline identifies which visualization pipeline a run uses.
+type Pipeline int
+
+// The two pipelines of the paper (Fig. 2).
+const (
+	PostProcessing Pipeline = iota
+	InSitu
+)
+
+func (p Pipeline) String() string {
+	if p == InSitu {
+		return "in-situ"
+	}
+	return "post-processing"
+}
+
+// Stage names used in phase annotations (Fig. 4's legend).
+const (
+	StageSimulation = "simulation"
+	StageWrite      = "nnwrite"
+	StageRead       = "nnread"
+	StageViz        = "visualization"
+)
+
+// Simulator is the proxy-application interface the pipelines drive.
+// internal/heat (the paper's app) and internal/ocean (a shallow-water
+// second proxy) both implement it.
+type Simulator interface {
+	// Step advances n solver sub-steps of real computation.
+	Step(n int)
+	// Field returns the scalar field the visualizer renders.
+	Field() *field.Grid
+	// Steps returns cumulative sub-steps taken.
+	Steps() uint64
+	// Time returns simulated physical time.
+	Time() float64
+	// CellUpdates converts n sub-steps into the work unit the platform
+	// charges for.
+	CellUpdates(n int) uint64
+}
+
+// newSimulator builds the configured application (default: the paper's
+// heat proxy).
+func newSimulator(cfg AppConfig) Simulator {
+	if cfg.NewSimulator != nil {
+		return cfg.NewSimulator()
+	}
+	return heat.NewSolver(cfg.Heat)
+}
+
+// CaseStudy is one application configuration of §IV-C: fifty timesteps
+// with I/O + visualization every IOInterval iterations.
+type CaseStudy struct {
+	Name       string
+	Iterations int
+	IOInterval int
+}
+
+// CaseStudies returns the paper's three configurations: I/O every
+// iteration, every other iteration, every eighth iteration.
+func CaseStudies() []CaseStudy {
+	return []CaseStudy{
+		{Name: "Case Study 1", Iterations: 50, IOInterval: 1},
+		{Name: "Case Study 2", Iterations: 50, IOInterval: 2},
+		{Name: "Case Study 3", Iterations: 50, IOInterval: 8},
+	}
+}
+
+// AppConfig configures the proxy application and its visualization.
+type AppConfig struct {
+	// Heat is the solver configuration (grid, sources, boundary) used
+	// when NewSimulator is nil.
+	Heat heat.Params
+	// NewSimulator, when set, supplies a different proxy application
+	// (e.g. the ocean shallow-water solver).
+	NewSimulator func() Simulator
+	// SubstepsPerIteration is the number of solver sub-steps one output
+	// iteration represents; it fixes the virtual compute cost of an
+	// iteration (2.18 s on the calibrated node).
+	SubstepsPerIteration int
+	// RealSubsteps is how many of those sub-steps are actually computed
+	// per iteration (the rest are charged but not executed). Lower
+	// values speed up host execution without changing virtual timing;
+	// set equal to SubstepsPerIteration for full fidelity.
+	RealSubsteps int
+	// CheckpointPayload is the bulk time-history payload written per
+	// checkpoint on top of the field snapshot (~188 MiB reproduces the
+	// paper's 30 %/27 % write/read shares for case study 1).
+	CheckpointPayload units.Bytes
+	// InsituPayload is the reduced data product the in-situ pipeline
+	// flushes with each frame for provenance.
+	InsituPayload units.Bytes
+	// Render configures the per-event visualization.
+	Render viz.RenderOptions
+	// CheckpointPolicy controls on-disk layout of checkpoint files.
+	CheckpointPolicy storage.AllocPolicy
+	// InsituNoSync skips the per-frame fsync of the in-situ pipeline
+	// (ablation knob: live monitoring without durability).
+	InsituNoSync bool
+	// CompressInsitu DEFLATE-compresses the in-situ reduced data
+	// product before flushing it (Wang et al. [22]): the achieved ratio
+	// is measured on the real field each event, and the compression CPU
+	// time is charged.
+	CompressInsitu bool
+	// CinemaVariants, when positive, makes the in-situ pipeline render
+	// that many extra parameterized views per event (different isoline
+	// sets and colormaps) into an image database — the image-based
+	// approach of Ahrens et al. [12], which restores post-hoc
+	// exploration from an in-situ run.
+	CinemaVariants int
+	// AsyncCheckpoint makes the post-processing pipeline buffer its
+	// checkpoints instead of fsyncing each one: the page cache drains
+	// them in the background, overlapped with subsequent simulation
+	// iterations, and only the phase barrier syncs. An "alternative
+	// optimization" in the spirit of the paper's conclusion.
+	AsyncCheckpoint bool
+	// RetainFrames keeps encoded PNG frames in the result for
+	// inspection; timing is unaffected.
+	RetainFrames bool
+	// Store, when set, redirects the post-processing pipeline's
+	// checkpoints to an alternative backend (e.g. a parallel
+	// filesystem); nil uses the node's local filesystem.
+	Store CheckpointStore
+}
+
+// CheckpointStore is where the post-processing pipeline keeps its
+// checkpoints: the node-local filesystem by default, or a remote
+// parallel filesystem (internal/pfs) in the Future Work experiments.
+// All calls block (advance virtual time) including durability.
+type CheckpointStore interface {
+	// WriteCheckpoint durably stores one checkpoint.
+	WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes)
+	// ReadCheckpoint fetches a checkpoint back, cold, returning the
+	// field and the solver step/time recorded at capture.
+	ReadCheckpoint(name string) (*field.Grid, uint64, float64, error)
+	// Barrier separates the write and read phases (sync + drop caches
+	// or the distributed equivalent).
+	Barrier()
+}
+
+// localStore is the default CheckpointStore: the node's own disk
+// through its page cache and filesystem, fsync per checkpoint.
+type localStore struct {
+	n      *node.Node
+	policy storage.AllocPolicy
+	async  bool
+}
+
+func (s localStore) WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes) {
+	f := s.n.FS.Create(name, s.policy)
+	s.n.WithIO(func() {
+		checkpoint.Write(f, g, step, simTime, payload)
+		if !s.async {
+			f.Fsync()
+		}
+	})
+}
+
+func (s localStore) ReadCheckpoint(name string) (*field.Grid, uint64, float64, error) {
+	f := s.n.FS.Open(name)
+	if f == nil {
+		return nil, 0, 0, fmt.Errorf("core: checkpoint %q not found", name)
+	}
+	var g *field.Grid
+	var h checkpoint.Header
+	var err error
+	s.n.WithIO(func() {
+		h, g, err = checkpoint.Read(f)
+	})
+	return g, h.Step, h.SimTime, err
+}
+
+func (s localStore) Barrier() {
+	s.n.WithIO(func() {
+		s.n.FS.Sync()
+		s.n.FS.DropCaches()
+	})
+}
+
+// DefaultAppConfig returns the paper's configuration, calibrated per
+// DESIGN.md §3.
+func DefaultAppConfig() AppConfig {
+	return AppConfig{
+		Heat:                 heat.DefaultParams(),
+		SubstepsPerIteration: 1536,
+		RealSubsteps:         128,
+		CheckpointPayload:    188 * units.MiB,
+		InsituPayload:        64 * units.MiB,
+		Render: viz.RenderOptions{
+			Width: 512, Height: 512,
+			Isolines: []float64{250, 500, 750},
+		},
+		CheckpointPolicy: storage.AllocContiguous,
+	}
+}
+
+// RunResult captures everything the paper measures for one run.
+type RunResult struct {
+	Pipeline Pipeline
+	Case     CaseStudy
+
+	// Profile holds the instrument series (system, rapl.PKG,
+	// rapl.DRAM) and stage phase annotations.
+	Profile *trace.Profile
+
+	// ExecTime is the wall (virtual) duration of the run (Fig. 7).
+	ExecTime units.Seconds
+	// Energy is the exact full-system energy from the power bus
+	// (Fig. 10); MeasuredEnergy integrates the 1 Hz meter.
+	Energy         units.Joules
+	MeasuredEnergy units.Joules
+	// AvgPower and PeakPower come from the meter series (Figs. 8-9).
+	AvgPower, PeakPower units.Watts
+
+	// StageTime sums phase durations per stage (Fig. 4).
+	StageTime map[string]units.Seconds
+
+	// Frames is the number of visualization events performed;
+	// FrameChecksum fingerprints the rendered PNGs so tests can verify
+	// the two pipelines produce identical imagery.
+	Frames        int
+	FrameChecksum uint64
+	// FramePNGs holds the encoded frames when RetainFrames is set.
+	FramePNGs [][]byte
+
+	// BytesToDisk is total media traffic (for attribution).
+	BytesWritten, BytesRead units.Bytes
+
+	// CompressionRatio is the last measured payload compression ratio
+	// when CompressInsitu is enabled (0 otherwise).
+	CompressionRatio float64
+	// CinemaFrames counts extra image-database views rendered when
+	// CinemaVariants is set (not part of FrameChecksum).
+	CinemaFrames int
+}
+
+// EnergyEfficiency returns frames per kilojoule — the work/energy
+// metric behind Fig. 11.
+func (r *RunResult) EnergyEfficiency() float64 {
+	if r.Energy <= 0 {
+		return 0
+	}
+	return float64(r.Frames) / r.Energy.KJ()
+}
+
+// runner carries shared state for one pipeline execution.
+type runner struct {
+	n      *node.Node
+	cfg    AppConfig
+	cs     CaseStudy
+	solver Simulator
+	inst   *node.Instruments
+	res    *RunResult
+	hash   interface {
+		Write(p []byte) (int, error)
+		Sum64() uint64
+	}
+	frame int
+}
+
+// Run executes one pipeline on a node and returns its measurements.
+// The node should be freshly created (or at least disk-quiet); a run
+// leaves its checkpoint and frame files on the node's filesystem.
+func Run(n *node.Node, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResult {
+	validate(cs, &cfg)
+	r := &runner{
+		n:      n,
+		cfg:    cfg,
+		cs:     cs,
+		solver: newSimulator(cfg),
+		hash:   fnv.New64a(),
+	}
+	r.inst = n.NewInstruments(fmt.Sprintf("%s/%s", p, cs.Name))
+	r.res = &RunResult{
+		Pipeline:  p,
+		Case:      cs,
+		Profile:   r.inst.Profile,
+		StageTime: map[string]units.Seconds{},
+	}
+
+	startT := n.Now()
+	startE := n.SystemEnergy()
+	d0 := n.DiskStats()
+	r.inst.Start()
+
+	switch p {
+	case PostProcessing:
+		r.runPostProcessing()
+	case InSitu:
+		r.runInSitu()
+	default:
+		panic(fmt.Sprintf("core: unknown pipeline %d", p))
+	}
+
+	n.WaitDiskIdle()
+	r.inst.Stop()
+
+	res := r.res
+	res.ExecTime = n.Now() - startT
+	res.Energy = n.SystemEnergy() - startE
+	sys := r.inst.Profile.SeriesByName("system")
+	res.MeasuredEnergy = units.Joules(sys.Integral())
+	st := sys.Summarize()
+	res.AvgPower = units.Watts(st.Mean)
+	res.PeakPower = units.Watts(st.Max)
+	res.FrameChecksum = r.hash.Sum64()
+	d1 := n.DiskStats()
+	res.BytesWritten = d1.BytesWritten - d0.BytesWritten
+	res.BytesRead = d1.BytesRead - d0.BytesRead
+	return res
+}
+
+func validate(cs CaseStudy, cfg *AppConfig) {
+	if cs.Iterations <= 0 || cs.IOInterval <= 0 {
+		panic(fmt.Sprintf("core: case study %+v needs positive iterations and interval", cs))
+	}
+	if cfg.SubstepsPerIteration <= 0 {
+		panic("core: SubstepsPerIteration must be positive")
+	}
+	if cfg.RealSubsteps <= 0 || cfg.RealSubsteps > cfg.SubstepsPerIteration {
+		panic("core: RealSubsteps must be in [1, SubstepsPerIteration]")
+	}
+	if cfg.CheckpointPayload < 0 || cfg.InsituPayload < 0 {
+		panic("core: negative payload")
+	}
+}
+
+// stage runs fn and annotates its interval with the stage name.
+func (r *runner) stage(name string, fn func()) {
+	start := r.n.Now()
+	fn()
+	end := r.n.Now()
+	r.res.Profile.MarkPhase(name, start, end)
+	r.res.StageTime[name] += end - start
+}
+
+// simulateIteration advances one output iteration: RealSubsteps of real
+// physics, the full SubstepsPerIteration of charged compute.
+func (r *runner) simulateIteration() {
+	r.stage(StageSimulation, func() {
+		r.solver.Step(r.cfg.RealSubsteps)
+		r.n.Compute(r.solver.CellUpdates(r.cfg.SubstepsPerIteration))
+	})
+}
+
+// renderAnnotatedFrame renders a field and stamps the frame footer
+// (capture step/time) and colorbar — the frame a scientist monitors.
+// Both pipelines and the in-transit staging path use it, so identical
+// solver states yield byte-identical frames.
+func renderAnnotatedFrame(cfg AppConfig, g *field.Grid, step uint64, simTime float64) ([]byte, viz.RenderStats) {
+	img, stats := viz.Render(g, cfg.Render)
+	cm := cfg.Render.Colormap
+	if cm == nil {
+		cm = viz.Inferno()
+	}
+	lo, hi := cfg.Render.Lo, cfg.Render.Hi
+	if lo == hi {
+		lo, hi = g.MinMax()
+	}
+	viz.Annotate(img, viz.AnnotateOptions{
+		Step: step, SimTime: simTime, Colormap: cm, Lo: lo, Hi: hi,
+	})
+	png, err := viz.EncodePNG(img)
+	if err != nil {
+		panic(fmt.Sprintf("core: PNG encode failed: %v", err))
+	}
+	return png, stats
+}
+
+// renderFrame renders + annotates, charges the render cost, and
+// returns the encoded PNG.
+func (r *runner) renderFrame(g *field.Grid, step uint64, simTime float64) []byte {
+	png, stats := renderAnnotatedFrame(r.cfg, g, step, simTime)
+	r.n.Render(stats.Pixels, stats.ContourCells, units.Bytes(len(png)))
+	r.hash.Write(png) //nolint:errcheck // fnv cannot fail
+	r.res.Frames++
+	if r.cfg.RetainFrames {
+		r.res.FramePNGs = append(r.res.FramePNGs, png)
+	}
+	return png
+}
+
+// writeFrameFile stores an encoded frame on the filesystem.
+func (r *runner) writeFrameFile(png []byte) *storage.File {
+	f := r.n.FS.Create(fmt.Sprintf("frame-%04d.png", r.frame), storage.AllocContiguous)
+	r.frame++
+	f.WriteAt(png, 0)
+	return f
+}
+
+// runPostProcessing is the traditional pipeline: phase one simulates
+// and writes checkpoints (fsync each for durability); a sync +
+// drop_caches barrier separates the phases (§IV-C); phase two reads
+// every checkpoint back cold and visualizes it.
+func (r *runner) runPostProcessing() {
+	n, cfg, cs := r.n, r.cfg, r.cs
+	store := cfg.Store
+	if store == nil {
+		store = localStore{n: n, policy: cfg.CheckpointPolicy, async: cfg.AsyncCheckpoint}
+	}
+	var names []string
+	for i := 1; i <= cs.Iterations; i++ {
+		r.simulateIteration()
+		if i%cs.IOInterval != 0 {
+			continue
+		}
+		name := fmt.Sprintf("ckpt-%04d", i)
+		names = append(names, name)
+		r.stage(StageWrite, func() {
+			store.WriteCheckpoint(name, r.solver.Field(), r.solver.Steps(), r.solver.Time(), cfg.CheckpointPayload)
+		})
+	}
+
+	// Phase barrier: sync and drop caches so reads hit the media.
+	store.Barrier()
+
+	for _, name := range names {
+		var g *field.Grid
+		var step uint64
+		var simTime float64
+		r.stage(StageRead, func() {
+			var err error
+			g, step, simTime, err = store.ReadCheckpoint(name)
+			if err != nil {
+				panic(fmt.Sprintf("core: checkpoint %s corrupt: %v", name, err))
+			}
+		})
+		r.stage(StageViz, func() {
+			png := r.renderFrame(g, step, simTime)
+			n.WithIO(func() { r.writeFrameFile(png) })
+		})
+	}
+	n.WithIO(func() { n.FS.Sync() })
+}
+
+// runInSitu is the coupled pipeline: each I/O event renders directly
+// from the live field and synchronously flushes the frame plus a
+// reduced data product so the scientist can monitor the run.
+func (r *runner) runInSitu() {
+	n, cfg, cs := r.n, r.cfg, r.cs
+	for i := 1; i <= cs.Iterations; i++ {
+		r.simulateIteration()
+		if i%cs.IOInterval != 0 {
+			continue
+		}
+		r.stage(StageViz, func() {
+			png := r.renderFrame(r.solver.Field(), r.solver.Steps(), r.solver.Time())
+			r.renderCinemaVariants(i)
+			payload := cfg.InsituPayload
+			if cfg.CompressInsitu {
+				// Measure the real compression ratio on this event's
+				// field and charge the compression pass.
+				ratio, err := viz.CompressionRatio(r.solver.Field())
+				if err != nil {
+					panic(fmt.Sprintf("core: compression failed: %v", err))
+				}
+				if ratio > 1 {
+					payload = units.Bytes(float64(payload) / ratio)
+				}
+				n.Compress(cfg.InsituPayload)
+				r.res.CompressionRatio = ratio
+			}
+			n.WithIO(func() {
+				f := r.writeFrameFile(png)
+				reduced := n.FS.Create(fmt.Sprintf("reduced-%04d", i), storage.AllocContiguous)
+				reduced.AppendSparse(payload)
+				if !cfg.InsituNoSync {
+					f.Fsync()
+					reduced.Fsync()
+				}
+			})
+		})
+	}
+	n.WithIO(func() { n.FS.Sync() })
+}
+
+// renderCinemaVariants renders the image-database views of one event
+// (Ahrens et al. [12]): real renders under varied visualization
+// parameters, stored alongside the primary frame. They restore post-hoc
+// exploration without shipping the raw data.
+func (r *runner) renderCinemaVariants(event int) {
+	cfg := r.cfg
+	if cfg.CinemaVariants <= 0 {
+		return
+	}
+	g := r.solver.Field()
+	lo, hi := g.MinMax()
+	if lo == hi {
+		hi = lo + 1
+	}
+	maps := []*viz.Colormap{viz.Inferno(), viz.CoolWarm(), viz.Grayscale()}
+	for k := 0; k < cfg.CinemaVariants; k++ {
+		opts := cfg.Render
+		opts.Colormap = maps[k%len(maps)]
+		// Sweep the isoline level across the field range per variant.
+		level := lo + (hi-lo)*float64(k+1)/float64(cfg.CinemaVariants+1)
+		opts.Isolines = []float64{level}
+		img, stats := viz.Render(g, opts)
+		viz.Annotate(img, viz.AnnotateOptions{
+			Step: r.solver.Steps(), SimTime: r.solver.Time(),
+			Colormap: opts.Colormap, Lo: lo, Hi: hi,
+		})
+		png, err := viz.EncodePNG(img)
+		if err != nil {
+			panic(fmt.Sprintf("core: cinema encode failed: %v", err))
+		}
+		r.n.Render(stats.Pixels, stats.ContourCells, units.Bytes(len(png)))
+		r.res.CinemaFrames++
+		r.n.WithIO(func() {
+			f := r.n.FS.Create(fmt.Sprintf("cinema-%04d-%02d.png", event, k), storage.AllocContiguous)
+			f.WriteAt(png, 0)
+		})
+	}
+}

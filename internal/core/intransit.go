@@ -1,0 +1,178 @@
+package core
+
+import (
+	"hash/fnv"
+
+	"repro/internal/netio"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/viz"
+)
+
+// Cluster is the two-node in-transit platform of the Future Work
+// multi-node study: a simulation node and a visualization staging node
+// sharing one virtual clock, connected by a network link. The
+// simulation ships each I/O event's data over the link; the staging
+// node renders and stores frames *concurrently* with the next
+// simulation iterations (Bennett et al. [10]; Gamell et al. [24]).
+type Cluster struct {
+	Engine  *sim.Engine
+	Sim     *node.Node
+	Staging *node.Node
+	Link    *netio.Link
+
+	stagingCPU *sim.Resource
+	frameOff   units.Bytes
+}
+
+// NewCluster builds two nodes of the given profile on one engine and
+// connects them.
+func NewCluster(p node.Profile, link netio.LinkParams, seed uint64) *Cluster {
+	engine := sim.NewEngine()
+	c := &Cluster{
+		Engine:  engine,
+		Sim:     node.NewOnEngine(engine, p, seed),
+		Staging: node.NewOnEngine(engine, p, seed+1),
+	}
+	c.Link = netio.Connect(c.Sim, c.Staging, link)
+	c.stagingCPU = sim.NewResource(engine)
+	c.frameOff = p.FS.DataStart
+	return c
+}
+
+// StopNoise halts both nodes' OS-noise tickers.
+func (c *Cluster) StopNoise() {
+	c.Sim.StopNoise()
+	c.Staging.StopNoise()
+}
+
+// InTransitResult captures a two-node run. Energy is reported three
+// ways because the right accounting depends on the deployment: the
+// simulation node alone (staging shared/amortized across jobs), the
+// staging node alone, and the whole cluster.
+type InTransitResult struct {
+	Case     CaseStudy
+	ExecTime units.Seconds
+
+	SimEnergy     units.Joules
+	StagingEnergy units.Joules
+	TotalEnergy   units.Joules
+
+	Frames        int
+	FrameChecksum uint64
+	BytesSent     units.Bytes
+	// StagingBusy is how long the staging node actually rendered; its
+	// idle remainder is the cost of dedicating a node to visualization.
+	StagingBusy units.Seconds
+}
+
+// RunInTransit executes the in-transit pipeline on a cluster: simulate
+// on the sim node; per I/O event ship the full checkpoint payload to
+// the staging node, which renders and stores the frame asynchronously.
+// The simulation blocks only for the network transfer.
+func RunInTransit(c *Cluster, cs CaseStudy, cfg AppConfig) *InTransitResult {
+	validate(cs, &cfg)
+	solver := newSimulator(cfg)
+	hash := fnv.New64a()
+	res := &InTransitResult{Case: cs}
+
+	startT := c.Engine.Now()
+	simE0 := c.Sim.SystemEnergy()
+	stgE0 := c.Staging.SystemEnergy()
+	payload := TotalSizeForGrid(cfg)
+
+	for i := 1; i <= cs.Iterations; i++ {
+		// Simulate on the sim node (foreground; staging events fire
+		// underneath).
+		solver.Step(cfg.RealSubsteps)
+		c.Sim.Compute(solver.CellUpdates(cfg.SubstepsPerIteration))
+		if i%cs.IOInterval != 0 {
+			continue
+		}
+
+		// Render the real frame now (host-side); its virtual cost is
+		// charged on the staging node when the data arrives.
+		png, stats := renderAnnotatedFrame(cfg, solver.Field(), solver.Steps(), solver.Time())
+		hash.Write(png) //nolint:errcheck // fnv cannot fail
+		res.Frames++
+
+		// Ship the event's data; the simulation blocks only for the
+		// serialized transfer.
+		c.Sim.SetLoad(c.Sim.Profile.IOCores, power.IntensityIO, c.Sim.Profile.IODRAMGBs)
+		end := c.Link.Send(payload, func() {
+			c.stageRender(stats, units.Bytes(len(png)))
+		})
+		c.Engine.AdvanceTo(end)
+		c.Sim.SetIdle()
+		res.BytesSent += payload
+	}
+
+	// Drain the staging side.
+	c.drain()
+
+	res.ExecTime = c.Engine.Now() - startT
+	res.SimEnergy = c.Sim.SystemEnergy() - simE0
+	res.StagingEnergy = c.Staging.SystemEnergy() - stgE0
+	res.TotalEnergy = res.SimEnergy + res.StagingEnergy
+	res.FrameChecksum = hash.Sum64()
+	res.StagingBusy = c.stagingCPU.BusyTime()
+	return res
+}
+
+// TotalSizeForGrid returns the per-event payload the in-transit
+// pipeline ships: the checkpoint-equivalent data product.
+func TotalSizeForGrid(cfg AppConfig) units.Bytes {
+	return units.Bytes(cfg.Heat.NX*cfg.Heat.NY*8) + cfg.CheckpointPayload
+}
+
+// stageRender queues one render on the staging node's CPU (FCFS) and
+// brackets its busy period with power transitions; the rendered frame
+// is then streamed to the staging disk.
+func (c *Cluster) stageRender(stats viz.RenderStats, pngBytes units.Bytes) {
+	cost := c.Staging.RenderCost(stats.Pixels, stats.ContourCells, pngBytes)
+	start, end := c.stagingCPU.Submit(cost, nil)
+	p := c.Staging.Profile
+	at := func(t sim.Time, fn func()) {
+		if t <= c.Engine.Now() {
+			fn()
+			return
+		}
+		c.Engine.At(t, fn)
+	}
+	at(start, func() {
+		c.Staging.SetLoad(p.VizCores, power.IntensityRender, p.VizDRAMGBs)
+	})
+	c.Engine.At(end, func() {
+		if c.stagingCPU.FreeAt() <= end {
+			c.Staging.SetIdle()
+		}
+		// Stream the frame to the staging node's disk (direct I/O).
+		off := c.frameOff
+		c.frameOff += pngBytes
+		c.Staging.Device.Submit(storage.OpWrite, off, pngBytes, nil)
+	})
+}
+
+// drain advances until the link, staging CPU, and staging disk are all
+// quiet.
+func (c *Cluster) drain() {
+	for {
+		next := c.Engine.Now()
+		if t := c.Link.FreeAt(); t > next {
+			next = t
+		}
+		if t := c.stagingCPU.FreeAt(); t > next {
+			next = t
+		}
+		if t := c.Staging.Device.FreeAt(); t > next {
+			next = t
+		}
+		if next <= c.Engine.Now() {
+			return
+		}
+		c.Engine.AdvanceTo(next)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netio"
+	"repro/internal/node"
+)
+
+func testCluster(seed uint64) *Cluster {
+	return NewCluster(node.SandyBridge(), netio.TenGigE(), seed)
+}
+
+func TestInTransitRendersEveryEvent(t *testing.T) {
+	cs := CaseStudies()[0]
+	r := RunInTransit(testCluster(21), cs, testConfig())
+	if r.Frames != 50 {
+		t.Errorf("frames = %d, want 50", r.Frames)
+	}
+	if r.BytesSent < 50*TotalSizeForGrid(testConfig()) {
+		t.Errorf("BytesSent = %v, too low", r.BytesSent)
+	}
+	if r.StagingBusy <= 0 {
+		t.Error("staging node never rendered")
+	}
+}
+
+func TestInTransitFramesMatchInSitu(t *testing.T) {
+	cs := CaseStudies()[1]
+	it := RunInTransit(testCluster(22), cs, testConfig())
+	ins := Run(testNode(23), InSitu, cs, testConfig())
+	if it.FrameChecksum != ins.FrameChecksum {
+		t.Error("in-transit and in-situ rendered different frames")
+	}
+}
+
+func TestInTransitFasterThanInSituButCostsSecondNode(t *testing.T) {
+	cs := CaseStudies()[0]
+	it := RunInTransit(testCluster(24), cs, testConfig())
+	ins := Run(testNode(25), InSitu, cs, testConfig())
+	post := Run(testNode(26), PostProcessing, cs, testConfig())
+
+	// The simulation node offloads rendering and only pays the network
+	// transfer, so the in-transit makespan beats in-situ.
+	if it.ExecTime >= ins.ExecTime {
+		t.Errorf("in-transit makespan %v not below in-situ %v", it.ExecTime, ins.ExecTime)
+	}
+	// And far beats post-processing.
+	if float64(it.ExecTime) > 0.6*float64(post.ExecTime) {
+		t.Errorf("in-transit %v not well below post-processing %v", it.ExecTime, post.ExecTime)
+	}
+	// But the second node's static floor makes the *cluster* energy
+	// worse than in-situ — the deployment caveat Gamell et al. observe.
+	if it.TotalEnergy <= ins.Energy {
+		t.Errorf("two-node total %v unexpectedly below one-node in-situ %v", it.TotalEnergy, ins.Energy)
+	}
+	// Charged to the simulation node alone, in-transit is the greenest.
+	if it.SimEnergy >= ins.Energy {
+		t.Errorf("sim-node energy %v not below in-situ %v", it.SimEnergy, ins.Energy)
+	}
+}
+
+func TestInTransitEnergyComponentsSum(t *testing.T) {
+	cs := CaseStudies()[2]
+	r := RunInTransit(testCluster(27), cs, testConfig())
+	if r.TotalEnergy != r.SimEnergy+r.StagingEnergy {
+		t.Error("energy components do not sum")
+	}
+	if r.SimEnergy <= 0 || r.StagingEnergy <= 0 {
+		t.Error("non-positive node energies")
+	}
+}
+
+func TestInTransitStagingOverlapsSimulation(t *testing.T) {
+	// Staging renders while the simulation continues: the makespan must
+	// be much closer to the simulation time than to the serialized sum.
+	cs := CaseStudies()[0]
+	cfg := testConfig()
+	r := RunInTransit(testCluster(28), cs, cfg)
+	simOnly := 2.18 * 50 // calibrated seconds of pure simulation
+	serialized := simOnly + float64(r.StagingBusy)
+	overlapSlack := float64(r.ExecTime) - simOnly
+	if overlapSlack > 0.5*(serialized-simOnly) {
+		t.Errorf("makespan %v suggests little overlap (sim %v, staging busy %v)",
+			r.ExecTime, simOnly, r.StagingBusy)
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	cs := CaseStudy{Name: "tiny", Iterations: 3, IOInterval: 1}
+	a := RunInTransit(testCluster(31), cs, testConfig())
+	b := RunInTransit(testCluster(31), cs, testConfig())
+	if a.ExecTime != b.ExecTime || a.TotalEnergy != b.TotalEnergy {
+		t.Error("same-seed clusters diverged")
+	}
+}

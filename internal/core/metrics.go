@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Comparison pairs the two pipelines' runs of one case study and
+// derives the paper's head-to-head metrics (Figs. 7-11).
+type Comparison struct {
+	Case   CaseStudy
+	Post   *RunResult
+	InSitu *RunResult
+}
+
+// Compare validates that the runs are comparable (same case study,
+// same number of frames) and pairs them.
+func Compare(post, insitu *RunResult) Comparison {
+	if post.Pipeline != PostProcessing || insitu.Pipeline != InSitu {
+		panic("core: Compare needs (post-processing, in-situ) in that order")
+	}
+	if post.Case != insitu.Case {
+		panic(fmt.Sprintf("core: mismatched case studies %q vs %q", post.Case.Name, insitu.Case.Name))
+	}
+	if post.Frames != insitu.Frames {
+		panic(fmt.Sprintf("core: pipelines rendered different frame counts %d vs %d", post.Frames, insitu.Frames))
+	}
+	return Comparison{Case: post.Case, Post: post, InSitu: insitu}
+}
+
+// pctLower returns how much lower b is than a, in percent.
+func pctLower(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a * 100
+}
+
+// TimeReductionPct is how much lower the in-situ execution time is (Fig. 7).
+func (c Comparison) TimeReductionPct() float64 {
+	return pctLower(float64(c.Post.ExecTime), float64(c.InSitu.ExecTime))
+}
+
+// EnergySavingsPct is how much lower the in-situ energy is (Fig. 10).
+func (c Comparison) EnergySavingsPct() float64 {
+	return pctLower(float64(c.Post.Energy), float64(c.InSitu.Energy))
+}
+
+// AvgPowerIncreasePct is how much higher the in-situ average power is (Fig. 8).
+func (c Comparison) AvgPowerIncreasePct() float64 {
+	return -pctLower(float64(c.Post.AvgPower), float64(c.InSitu.AvgPower))
+}
+
+// PeakPowerDeltaPct is the in-situ peak relative to post-processing (Fig. 9).
+func (c Comparison) PeakPowerDeltaPct() float64 {
+	return -pctLower(float64(c.Post.PeakPower), float64(c.InSitu.PeakPower))
+}
+
+// EfficiencyImprovementPct is the in-situ gain in frames/kJ (Fig. 11).
+func (c Comparison) EfficiencyImprovementPct() float64 {
+	pe := c.Post.EnergyEfficiency()
+	if pe == 0 {
+		return 0
+	}
+	return (c.InSitu.EnergyEfficiency() - pe) / pe * 100
+}
+
+// NormalizedEfficiencies returns both pipelines' efficiencies scaled so
+// the better one is 1.0, matching Fig. 11's y-axis.
+func (c Comparison) NormalizedEfficiencies() (post, insitu float64) {
+	pe, ie := c.Post.EnergyEfficiency(), c.InSitu.EnergyEfficiency()
+	best := pe
+	if ie > best {
+		best = ie
+	}
+	if best == 0 {
+		return 0, 0
+	}
+	return pe / best, ie / best
+}
+
+// SavingsBreakdown decomposes the in-situ energy savings into a dynamic
+// component (fewer data transfers) and a static component (less
+// serialized/idle time) — the paper's §V-C analysis, performed two ways:
+//
+//   - PaperMethod multiplies the measured average *dynamic* power of the
+//     I/O stages (Table II) by the execution-time difference, exactly as
+//     the paper computes it;
+//   - GroundTruth uses the simulator's knowledge of the node's true
+//     static floor.
+type SavingsBreakdown struct {
+	Total units.Joules
+
+	PaperDynamic units.Joules
+	PaperStatic  units.Joules
+
+	TrueStatic  units.Joules
+	TrueDynamic units.Joules
+}
+
+// StaticSharePct returns the paper-method static share of the savings
+// (the headline "91 % of the energy is saved by avoiding idling").
+func (b SavingsBreakdown) StaticSharePct() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.PaperStatic) / float64(b.Total) * 100
+}
+
+// DynamicSharePct returns the paper-method dynamic share ("only 9 %").
+func (b SavingsBreakdown) DynamicSharePct() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.PaperDynamic) / float64(b.Total) * 100
+}
+
+// Breakdown computes the savings decomposition. avgIODynamic is the
+// measured average dynamic power of the nnread/nnwrite stages (Table
+// II, ~10.15 W); staticFloor is the node's idle system power (for the
+// ground-truth variant).
+func (c Comparison) Breakdown(avgIODynamic, staticFloor units.Watts) SavingsBreakdown {
+	dt := c.Post.ExecTime - c.InSitu.ExecTime
+	total := c.Post.Energy - c.InSitu.Energy
+	b := SavingsBreakdown{Total: total}
+	b.PaperDynamic = units.Energy(avgIODynamic, dt)
+	b.PaperStatic = total - b.PaperDynamic
+	b.TrueStatic = units.Energy(staticFloor, dt)
+	b.TrueDynamic = total - b.TrueStatic
+	return b
+}

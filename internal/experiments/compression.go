@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Compression evaluates application-driven payload compression (Wang
+// et al. [22]) on the in-situ pipeline: the reduced data product is
+// DEFLATE-compressed at the measured per-event ratio (real field, real
+// compressor) at the cost of a compression CPU pass.
+func (s *Suite) Compression() Report {
+	cs := core.CaseStudies()[0]
+	base := s.run(core.InSitu, cs)
+
+	cfg := s.Config
+	cfg.CompressInsitu = true
+	s.seedCtr++
+	compressed := core.Run(s.newNode(), core.InSitu, cs, cfg)
+
+	rows := [][]string{
+		{"in-situ, raw payload", secs(base.ExecTime), kjoule(base.Energy), "-"},
+		{"in-situ, compressed payload", secs(compressed.ExecTime), kjoule(compressed.Energy),
+			fmt.Sprintf("%.1fx", compressed.CompressionRatio)},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", table(
+		[]string{"Variant", "Time", "Energy", "Measured ratio"}, rows))
+	saved := (1 - float64(compressed.Energy)/float64(base.Energy)) * 100
+	fmt.Fprintf(&b, "Compression shrinks each flush by the measured ratio but buys back only\n")
+	fmt.Fprintf(&b, "%.1f%% of the in-situ energy: the flush is already the small dynamic share,\n", saved)
+	fmt.Fprintf(&b, "and the compression pass itself costs compute time — the same\n")
+	fmt.Fprintf(&b, "static-dominance logic as Sec. V-C, now applied to data reduction.\n")
+	return Report{
+		ID:    "compression",
+		Title: "In-situ payload compression (Wang et al. [22])",
+		Body:  b.String(),
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/node"
+)
+
+// Devices runs the Future Work device sweep: the case-study-1
+// comparison on the paper's HDD, a RAID-0 x4 array, an NVRAM
+// burst-buffered HDD, and a SATA SSD. It shows how the paper's
+// headline energy savings — rooted in serialized disk time — shrink as
+// the storage gets faster, and how the burst buffer gets most of the
+// way there while keeping spinning disks for capacity.
+func (s *Suite) Devices() Report {
+	cs := core.CaseStudies()[0]
+	var rows [][]string
+	for _, variant := range []struct {
+		name    string
+		profile node.Profile
+	}{
+		{"HDD (paper platform)", node.SandyBridge()},
+		{"RAID-0 x4 HDD", node.SandyBridgeRAID(4)},
+		{"NVRAM burst buffer + HDD", node.SandyBridgeNVRAM()},
+		{"SSD", node.SandyBridgeSSD()},
+	} {
+		s.seedCtr += 2
+		seedBase := s.Seed*1_000_003 + s.seedCtr*10_000
+		post := core.Run(node.New(variant.profile, seedBase), core.PostProcessing, cs, s.Config)
+		ins := core.Run(node.New(variant.profile, seedBase+1), core.InSitu, cs, s.Config)
+		c := core.Compare(post, ins)
+		rows = append(rows, []string{
+			variant.name,
+			secs(post.ExecTime),
+			kjoule(post.Energy),
+			kjoule(ins.Energy),
+			pct(c.EnergySavingsPct()),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", table(
+		[]string{"Device", "Post time", "Post energy", "In-situ energy", "In-situ savings"}, rows))
+	fmt.Fprintf(&b, "Faster storage shrinks post-processing's serialized I/O time, and with it\n")
+	fmt.Fprintf(&b, "the in-situ advantage: the paper's 43%% is a spinning-disk number. The\n")
+	fmt.Fprintf(&b, "burst buffer reaches most of the SSD's effect while the data still ends\n")
+	fmt.Fprintf(&b, "up on disk (drained in the background).\n")
+	return Report{
+		ID:    "devices",
+		Title: "Future Work: device sweep (HDD / RAID-0 / NVRAM buffer / SSD)",
+		Body:  b.String(),
+	}
+}

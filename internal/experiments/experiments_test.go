@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// lightSuite shrinks workloads so the structural tests stay fast; the
+// calibration assertions live in internal/core and internal/fio.
+func lightSuite() *Suite {
+	cfg := core.DefaultAppConfig()
+	cfg.RealSubsteps = 4
+	s := NewSuite(5, &cfg)
+	s.Fio.FileSize = 256 * units.MiB
+	return s
+}
+
+func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%q) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	if len(seen) != 22 {
+		t.Errorf("registry has %d experiments, want 22", len(seen))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Errorf("unknown id error = %v", err)
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	r := lightSuite().Table1()
+	for _, want := range []string{"Xeon E5-2665", "64GiB", "7200rpm"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("Table I missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestComparisonFiguresShareRuns(t *testing.T) {
+	s := lightSuite()
+	s.Fig7()
+	runsAfter7 := len(s.runs)
+	s.Fig8()
+	s.Fig10()
+	s.Fig11()
+	if len(s.runs) != runsAfter7 {
+		t.Errorf("figures 8-11 re-ran pipelines: %d -> %d cached runs", runsAfter7, len(s.runs))
+	}
+	if runsAfter7 != 6 {
+		t.Errorf("cached runs = %d, want 6 (2 pipelines x 3 cases)", runsAfter7)
+	}
+}
+
+func TestFig4SharesSumToOneHundred(t *testing.T) {
+	r := lightSuite().Fig4()
+	if !strings.Contains(r.Body, "Case Study 1") || !strings.Contains(r.Body, "%") {
+		t.Errorf("Fig4 body malformed:\n%s", r.Body)
+	}
+}
+
+func TestFig5ContainsSixPanels(t *testing.T) {
+	r := lightSuite().Fig5()
+	if got := strings.Count(r.Body, "=system"); got != 6 {
+		t.Errorf("Fig5 has %d system-series panels, want 6", got)
+	}
+	if !strings.Contains(r.Body, "=rapl.PKG") {
+		t.Error("Fig5 lacks processor series")
+	}
+}
+
+func TestFig10ReportsSavings(t *testing.T) {
+	s := lightSuite()
+	r := s.Fig10()
+	if !strings.Contains(r.Body, "In-situ lower by") || !strings.Contains(r.Body, "KJ") {
+		t.Errorf("Fig10 body:\n%s", r.Body)
+	}
+}
+
+func TestTable2AndFig6ShareCharacterization(t *testing.T) {
+	s := lightSuite()
+	s.Table2()
+	sc := s.stageChar
+	s.Fig6()
+	if s.stageChar != sc {
+		t.Error("Fig6 re-ran the stage characterization")
+	}
+}
+
+func TestBreakdownReportMentionsShares(t *testing.T) {
+	r := lightSuite().BreakdownReport()
+	for _, want := range []string{"static", "dynamic", "Ground truth"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	r := lightSuite().Table3()
+	for _, want := range []string{"Execution time", "Disk dynamic power", "Random Read"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+}
+
+func TestHypotheticalRecommendsReorganization(t *testing.T) {
+	r := lightSuite().Hypothetical()
+	if !strings.Contains(r.Body, "reorganized post-processing") {
+		t.Errorf("hypothetical body:\n%s", r.Body)
+	}
+}
+
+func TestAblationsCoverAllThree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations run several full pipelines")
+	}
+	cfg := core.DefaultAppConfig()
+	cfg.RealSubsteps = 4
+	s := NewSuite(6, &cfg)
+	s.Fio.FileSize = 256 * units.MiB
+	r := s.Ablations()
+	for _, want := range []string{"A1", "A2", "A3", "elevator", "fsync", "SSD"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("ablations missing %q", want)
+		}
+	}
+}
+
+func TestInTransitReport(t *testing.T) {
+	r := lightSuite().InTransit()
+	for _, want := range []string{"in-transit (sim node)", "10 GbE", "Energy (cluster)"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("intransit missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestDevicesReportSweepsFourDevices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("devices runs eight pipelines")
+	}
+	r := lightSuite().Devices()
+	for _, want := range []string{"HDD", "RAID-0", "NVRAM", "SSD"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("devices missing %q", want)
+		}
+	}
+}
+
+func TestOptimizedReport(t *testing.T) {
+	r := lightSuite().Optimized()
+	for _, want := range []string{"async checkpoints", "spindown", "in-situ (reference)"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("optimized missing %q", want)
+		}
+	}
+}
+
+func TestSamplingReportHasPSNRColumn(t *testing.T) {
+	r := lightSuite().Sampling()
+	for _, want := range []string{"1/8 per axis", "dB", "inf (exact)"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("sampling missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestPFSReport(t *testing.T) {
+	r := lightSuite().PFS()
+	for _, want := range []string{"4-server PFS", "Total energy", "uplink"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("pfs missing %q", want)
+		}
+	}
+}
+
+func TestPowerCapReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("powercap runs eight pipelines")
+	}
+	r := lightSuite().PowerCap()
+	for _, want := range []string{"uncapped", "PKG cap 52W", "In-situ peak"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("powercap missing %q", want)
+		}
+	}
+}
+
+func TestCompressionReport(t *testing.T) {
+	r := lightSuite().Compression()
+	for _, want := range []string{"compressed payload", "Measured ratio", "x"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("compression missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestCinemaReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cinema renders 200 extra frames")
+	}
+	r := lightSuite().Cinema()
+	for _, want := range []string{"image database", "Images", "single view"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("cinema missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := lightSuite().Fig10()
+	b := lightSuite().Fig10()
+	if a.Body != b.Body {
+		t.Error("same-seed suites produced different Fig10 bodies")
+	}
+}

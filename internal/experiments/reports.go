@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	fmt.Fprintln(w, strings.Join(dashes(header), "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush() //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+func dashes(header []string) []string {
+	out := make([]string, len(header))
+	for i, h := range header {
+		out[i] = strings.Repeat("-", len(h))
+	}
+	return out
+}
+
+func pct(v float64) string         { return fmt.Sprintf("%.1f%%", v) }
+func secs(v units.Seconds) string  { return fmt.Sprintf("%.1f s", float64(v)) }
+func watts(v units.Watts) string   { return fmt.Sprintf("%.1f W", float64(v)) }
+func kjoule(v units.Joules) string { return fmt.Sprintf("%.1f KJ", v.KJ()) }
+
+// Table1 echoes the platform specification.
+func (s *Suite) Table1() Report {
+	n := s.newNode()
+	rows := make([][]string, 0, 8)
+	for _, r := range n.Spec() {
+		rows = append(rows, []string{r.Item, r.Value})
+	}
+	n.StopNoise()
+	return Report{
+		ID:    "table1",
+		Title: "Table I: Hardware specification (simulated platform)",
+		Body:  table([]string{"H/W Type", "H/W Detail"}, rows),
+	}
+}
+
+// Fig4 prints the percentage of execution time per stage for the three
+// case studies of the post-processing pipeline.
+func (s *Suite) Fig4() Report {
+	header := []string{"Case", core.StageSimulation, core.StageWrite, core.StageRead, core.StageViz}
+	var rows [][]string
+	for i, cs := range core.CaseStudies() {
+		r := s.comparison(i).Post
+		total := float64(r.ExecTime)
+		row := []string{cs.Name}
+		for _, st := range []string{core.StageSimulation, core.StageWrite, core.StageRead, core.StageViz} {
+			row = append(row, pct(float64(r.StageTime[st])/total*100))
+		}
+		rows = append(rows, row)
+	}
+	return Report{
+		ID:    "fig4",
+		Title: "Fig. 4: Percentage of execution time per stage (post-processing)",
+		Body: table(header, rows) +
+			"\nPaper: 33/30/27/10, 50/22/21/7, 80/9/8/3 (%).\n",
+	}
+}
+
+// profilePlot renders a run's system/PKG/DRAM series like one panel of
+// Fig. 5.
+func profilePlot(title string, p *trace.Profile) string {
+	series := []*trace.Series{}
+	for _, name := range []string{"system", "rapl.PKG", "rapl.DRAM"} {
+		if sr := p.SeriesByName(name); sr != nil {
+			series = append(series, sr)
+		}
+	}
+	return trace.ASCIIPlot(title, 100, 14, series...)
+}
+
+// Fig5 renders the six power profiles.
+func (s *Suite) Fig5() Report {
+	var b strings.Builder
+	for i, cs := range core.CaseStudies() {
+		c := s.comparison(i)
+		fmt.Fprintf(&b, "%s\n", profilePlot(
+			fmt.Sprintf("(%c) post-processing, %s", 'a'+i*2, cs.Name), c.Post.Profile))
+		fmt.Fprintf(&b, "%s\n", profilePlot(
+			fmt.Sprintf("(%c) in-situ, %s", 'b'+i*2, cs.Name), c.InSitu.Profile))
+	}
+	return Report{
+		ID:    "fig5",
+		Title: "Fig. 5: Power profiles (system / processor / DRAM) over time",
+		Body:  b.String(),
+	}
+}
+
+// Fig6 renders the isolated nnread/nnwrite stage profiles.
+func (s *Suite) Fig6() Report {
+	sc := s.stages()
+	sys := sc.Profile.SeriesByName("system")
+	var b strings.Builder
+	for _, stage := range []string{core.StageWrite, core.StageRead} {
+		sub := trace.NewSeries(stage, "W")
+		for _, ph := range sc.Profile.Phases {
+			if ph.Name != stage {
+				continue
+			}
+			for _, sm := range sys.Between(ph.Start, ph.End) {
+				sub.Append(sm.T, sm.V)
+			}
+		}
+		fmt.Fprintf(&b, "%s\n", trace.ASCIIPlot(stage+" stage, full-system power", 100, 10, sub))
+	}
+	return Report{
+		ID:    "fig6",
+		Title: "Fig. 6: Power profile of nnread and nnwrite stages",
+		Body:  b.String(),
+	}
+}
+
+// comparisonTable builds one Figs. 7-10 style table.
+func (s *Suite) comparisonTable(id, title, paperNote string, metric func(*core.RunResult) string, delta func(core.Comparison) string, deltaName string) Report {
+	header := []string{"Case", "In-situ", "Traditional", deltaName}
+	var rows [][]string
+	for i, cs := range core.CaseStudies() {
+		c := s.comparison(i)
+		rows = append(rows, []string{cs.Name, metric(c.InSitu), metric(c.Post), delta(c)})
+	}
+	return Report{ID: id, Title: title, Body: table(header, rows) + paperNote}
+}
+
+// Fig7 compares execution times.
+func (s *Suite) Fig7() Report {
+	return s.comparisonTable("fig7",
+		"Fig. 7: Execution time of post-processing and in-situ pipelines",
+		"\nPaper reports in-situ lower by 92/52/26% (inconsistent with Figs. 8+10; see EXPERIMENTS.md).\n",
+		func(r *core.RunResult) string { return secs(r.ExecTime) },
+		func(c core.Comparison) string { return pct(c.TimeReductionPct()) },
+		"In-situ lower by")
+}
+
+// Fig8 compares average power.
+func (s *Suite) Fig8() Report {
+	return s.comparisonTable("fig8",
+		"Fig. 8: Average power",
+		"\nPaper: in-situ higher by 8/5/3%.\n",
+		func(r *core.RunResult) string { return watts(r.AvgPower) },
+		func(c core.Comparison) string { return pct(c.AvgPowerIncreasePct()) },
+		"In-situ higher by")
+}
+
+// Fig9 compares peak power.
+func (s *Suite) Fig9() Report {
+	return s.comparisonTable("fig9",
+		"Fig. 9: Peak power",
+		"\nPaper: no significant difference.\n",
+		func(r *core.RunResult) string { return watts(r.PeakPower) },
+		func(c core.Comparison) string { return pct(c.PeakPowerDeltaPct()) },
+		"In-situ delta")
+}
+
+// Fig10 compares energy.
+func (s *Suite) Fig10() Report {
+	return s.comparisonTable("fig10",
+		"Fig. 10: Energy consumption",
+		"\nPaper: in-situ lower by 43/30/18%.\n",
+		func(r *core.RunResult) string { return kjoule(r.Energy) },
+		func(c core.Comparison) string { return pct(c.EnergySavingsPct()) },
+		"In-situ lower by")
+}
+
+// Fig11 compares normalized energy efficiency.
+func (s *Suite) Fig11() Report {
+	header := []string{"Case", "In-situ", "Traditional", "Improvement"}
+	var rows [][]string
+	for i, cs := range core.CaseStudies() {
+		c := s.comparison(i)
+		post, ins := c.NormalizedEfficiencies()
+		rows = append(rows, []string{
+			cs.Name,
+			fmt.Sprintf("%.2f", ins),
+			fmt.Sprintf("%.2f", post),
+			pct(c.EfficiencyImprovementPct()),
+		})
+	}
+	return Report{
+		ID:    "fig11",
+		Title: "Fig. 11: Energy efficiency (normalized)",
+		Body:  table(header, rows) + "\nPaper: improvement ranges from 22% to 72%.\n",
+	}
+}
+
+// Table2 prints the nnread/nnwrite power properties.
+func (s *Suite) Table2() Report {
+	sc := s.stages()
+	rows := [][]string{
+		{"Avg. Power (Total)", watts(sc.ReadAvgTotal), watts(sc.WriteAvgTotal)},
+		{"Avg. Power (Dynamic)", watts(sc.ReadAvgDynamic), watts(sc.WriteAvgDynamic)},
+	}
+	return Report{
+		ID:    "table2",
+		Title: "Table II: Properties of nnread and nnwrite stages",
+		Body: table([]string{"Metric", "nnread", "nnwrite"}, rows) +
+			"\nPaper: 115.1/114.8 total, 10.3/10.0 dynamic (W).\n",
+	}
+}
+
+// BreakdownReport decomposes case study 1's savings (Sec. V-C).
+func (s *Suite) BreakdownReport() Report {
+	sc := s.stages()
+	c := s.comparison(0)
+	b := c.Breakdown(sc.AvgIODynamic, sc.IdlePower)
+	rows := [][]string{
+		{"Total savings", kjoule(b.Total), ""},
+		{"Saved by avoiding idling (static)", kjoule(b.PaperStatic), pct(b.StaticSharePct())},
+		{"Saved by reducing data accesses (dynamic)", kjoule(b.PaperDynamic), pct(b.DynamicSharePct())},
+		{"Ground truth static (simulator)", kjoule(b.TrueStatic), pct(float64(b.TrueStatic) / float64(b.Total) * 100)},
+		{"Ground truth dynamic (simulator)", kjoule(b.TrueDynamic), pct(float64(b.TrueDynamic) / float64(b.Total) * 100)},
+	}
+	return Report{
+		ID:    "breakdown",
+		Title: "Sec. V-C: Energy-savings breakdown, case study 1",
+		Body: table([]string{"Component", "Energy", "Share"}, rows) +
+			"\nPaper: 12.8 KJ static (91%) vs 1.2 KJ dynamic (9%).\n",
+	}
+}
+
+// Table3 prints the fio rows.
+func (s *Suite) Table3() Report {
+	header := []string{"Metric", "Sequential Read", "Random Read", "Sequential Write", "Random Write"}
+	res := s.fioResults()
+	get := func(f func(i int) string) []string {
+		out := make([]string, 0, 4)
+		for i := range res {
+			out = append(out, f(i))
+		}
+		return out
+	}
+	rows := [][]string{
+		append([]string{"Execution time (s)"}, get(func(i int) string { return fmt.Sprintf("%.1f", float64(res[i].ExecTime)) })...),
+		append([]string{"Full-system power (W)"}, get(func(i int) string { return fmt.Sprintf("%.1f", float64(res[i].FullSystemPower)) })...),
+		append([]string{"Disk dynamic power (W)"}, get(func(i int) string { return fmt.Sprintf("%.1f", float64(res[i].DiskDynPower)) })...),
+		append([]string{"Disk dynamic energy (KJ)"}, get(func(i int) string { return fmt.Sprintf("%.2f", res[i].DiskDynEnergy.KJ()) })...),
+		append([]string{"Full-system energy (KJ)"}, get(func(i int) string { return fmt.Sprintf("%.1f", res[i].FullSystemEnergy.KJ()) })...),
+	}
+	return Report{
+		ID:    "table3",
+		Title: "Table III: Performance, power, and energy for the fio tests",
+		Body: table(header, rows) +
+			"\nPaper: 35.9/2230/27/31 s; 118/107/115.4/117.9 W; energy 4.2/238.6/3.1/3.6 KJ.\n",
+	}
+}
+
+// Hypothetical reproduces Sec. V-D's argument with the runtime advisor.
+func (s *Suite) Hypothetical() Report {
+	res := s.fioResults()
+	randomTotal := res[1].FullSystemEnergy + res[3].FullSystemEnergy
+	seqTotal := res[0].FullSystemEnergy + res[2].FullSystemEnergy
+
+	n := s.newNode()
+	w := core.WorkloadSpec{
+		Name:           "random-I/O application",
+		ReadBytes:      4 * units.GiB,
+		WriteBytes:     4 * units.GiB,
+		OpSize:         16 * units.KiB,
+		RandomFraction: 1,
+		SpanBytes:      4 * units.GiB,
+	}
+	a := core.Advise(n.Profile, w)
+	n.StopNoise()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Measured (fio): random-I/O app spends %s; after data reorganization %s.\n",
+		kjoule(randomTotal), kjoule(seqTotal))
+	fmt.Fprintf(&b, "Adopting in-situ saves %s but forfeits exploratory analysis;\n", kjoule(randomTotal))
+	fmt.Fprintf(&b, "reorganization forfeits only %s while retaining it.\n\n", kjoule(seqTotal))
+	rows := [][]string{}
+	for _, p := range []core.Prediction{a.AsIs, a.Reorganized, a.InSitu} {
+		rows = append(rows, []string{p.Strategy, secs(p.Time), kjoule(p.SystemEnergy), fmt.Sprintf("%v", p.Exploratory)})
+	}
+	fmt.Fprintf(&b, "%s\nAdvisor recommendation: %s\n  (%s)\n",
+		table([]string{"Strategy", "Predicted time", "Predicted energy", "Exploratory"}, rows),
+		a.Recommended, a.Reason)
+	fmt.Fprintf(&b, "\nPaper: 242.2 KJ saved by in-situ vs 7.3 KJ forfeited with reorganization.\n")
+	return Report{
+		ID:    "hypothetical",
+		Title: "Sec. V-D: An alternative to in-situ for random-I/O applications",
+		Body:  b.String(),
+	}
+}

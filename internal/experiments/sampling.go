@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/heat"
+	"repro/internal/units"
+	"repro/internal/viz"
+)
+
+// Sampling quantifies the energy-quality tradeoff of in-situ data
+// sampling (Woodring et al. [21]; Haldeman et al. [25]): the in-situ
+// pipeline ships a 1/k²-subsampled data product per event, trading
+// image fidelity (PSNR against the full-resolution render) for
+// less I/O energy.
+func (s *Suite) Sampling() Report {
+	cs := core.CaseStudies()[0]
+
+	// Reference render from a warmed solver state (host-side quality
+	// measurement; the energy comes from the pipeline runs).
+	solver := heat.NewSolver(s.Config.Heat)
+	solver.Step(maxInt(s.Config.RealSubsteps, 64))
+	refOpts := s.Config.Render
+	lo, hi := solver.Field().MinMax()
+	refOpts.Lo, refOpts.Hi = lo, hi
+	ref, _ := viz.Render(solver.Field(), refOpts)
+
+	var rows [][]string
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg := s.Config
+		cfg.InsituPayload = cfg.InsituPayload / units.Bytes(k*k)
+		s.seedCtr++
+		r := core.Run(s.newNode(), core.InSitu, cs, cfg)
+
+		img, _ := viz.Render(viz.Downsample(solver.Field(), k), refOpts)
+		psnr := viz.PSNR(ref, img)
+		psnrStr := "inf (exact)"
+		if !math.IsInf(psnr, 1) {
+			psnrStr = fmt.Sprintf("%.1f dB", psnr)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("1/%d per axis", k),
+			cfg.InsituPayload.String(),
+			kjoule(r.Energy),
+			psnrStr,
+		})
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", table(
+		[]string{"Sampling", "Payload/event", "In-situ energy", "Image PSNR vs full"}, rows))
+	fmt.Fprintf(&b, "Sampling shrinks the in-situ flush — but Sec. V-C already showed the\n")
+	fmt.Fprintf(&b, "dynamic (data-volume) component is the small share of the energy, so the\n")
+	fmt.Fprintf(&b, "returns diminish quickly while image quality keeps falling: the paper's\n")
+	fmt.Fprintf(&b, "argument against lossy reduction as the primary power lever, quantified.\n")
+	return Report{
+		ID:    "sampling",
+		Title: "In-situ data sampling: energy vs. image quality (refs [21], [25])",
+		Body:  b.String(),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

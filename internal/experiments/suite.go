@@ -1,0 +1,151 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation: one driver per artifact, each returning a Report
+// whose body prints the same rows or series the paper shows. A Suite
+// caches pipeline runs so figures that share runs (Figs. 5 and 7-11)
+// don't recompute them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fio"
+	"repro/internal/node"
+)
+
+// Report is one regenerated artifact.
+type Report struct {
+	ID    string // "table1", "fig4", ... "hypothetical"
+	Title string
+	Body  string
+}
+
+// Suite lazily executes and caches the runs the experiments share.
+// A suite is deterministic in (Seed, Config); it is not safe for
+// concurrent use.
+type Suite struct {
+	Seed   uint64
+	Config core.AppConfig
+	// Fio configures the Table III runs (default: the paper's 4 GiB).
+	Fio fio.Config
+
+	runs      map[string]*core.RunResult
+	fioOut    []fio.Result
+	stageChar *core.StageCharacterization
+	seedCtr   uint64
+}
+
+// NewSuite creates a suite. Config's zero value selects the default
+// app configuration.
+func NewSuite(seed uint64, cfg *core.AppConfig) *Suite {
+	c := core.DefaultAppConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return &Suite{Seed: seed, Config: c, Fio: fio.DefaultConfig(), runs: map[string]*core.RunResult{}}
+}
+
+// newNode builds a fresh node with a per-use derived seed so repeated
+// experiments never share stochastic streams, yet the whole suite is
+// reproducible from Suite.Seed.
+func (s *Suite) newNode() *node.Node {
+	s.seedCtr++
+	return node.New(node.SandyBridge(), s.Seed*1_000_003+s.seedCtr)
+}
+
+// run returns the cached pipeline run, executing it on first use.
+func (s *Suite) run(p core.Pipeline, cs core.CaseStudy) *core.RunResult {
+	key := fmt.Sprintf("%s/%s", p, cs.Name)
+	if r, ok := s.runs[key]; ok {
+		return r
+	}
+	r := core.Run(s.newNode(), p, cs, s.Config)
+	s.runs[key] = r
+	return r
+}
+
+// comparison returns the post/in-situ pair for case study index i.
+func (s *Suite) comparison(i int) core.Comparison {
+	cs := core.CaseStudies()[i]
+	return core.Compare(s.run(core.PostProcessing, cs), s.run(core.InSitu, cs))
+}
+
+// ComparisonFor returns the (cached) post/in-situ comparison for
+// case-study index i, executing the runs on first use. The CLI uses it
+// to export profiles without re-running pipelines.
+func (s *Suite) ComparisonFor(i int) core.Comparison { return s.comparison(i) }
+
+// comparisons returns all three case-study comparisons.
+func (s *Suite) comparisons() []core.Comparison {
+	out := make([]core.Comparison, 0, 3)
+	for i := range core.CaseStudies() {
+		out = append(out, s.comparison(i))
+	}
+	return out
+}
+
+// fioResults returns the cached Table III runs.
+func (s *Suite) fioResults() []fio.Result {
+	if s.fioOut == nil {
+		s.fioOut = fio.RunAll(s.newNode(), s.Fio)
+	}
+	return s.fioOut
+}
+
+// stages returns the cached Table II / Fig. 6 characterization.
+func (s *Suite) stages() *core.StageCharacterization {
+	if s.stageChar == nil {
+		sc := core.CharacterizeStages(s.newNode(), s.Config, 10)
+		s.stageChar = &sc
+	}
+	return s.stageChar
+}
+
+// Experiment pairs an ID with its driver.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(*Suite) Report
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Hardware specification (Table I)", (*Suite).Table1},
+		{"fig4", "Stage time shares per case study (Fig. 4)", (*Suite).Fig4},
+		{"fig5", "Power profiles of both pipelines, 3 case studies (Fig. 5)", (*Suite).Fig5},
+		{"fig6", "nnread/nnwrite stage power profiles (Fig. 6)", (*Suite).Fig6},
+		{"fig7", "Execution time comparison (Fig. 7)", (*Suite).Fig7},
+		{"fig8", "Average power comparison (Fig. 8)", (*Suite).Fig8},
+		{"fig9", "Peak power comparison (Fig. 9)", (*Suite).Fig9},
+		{"fig10", "Energy comparison (Fig. 10)", (*Suite).Fig10},
+		{"fig11", "Normalized energy efficiency (Fig. 11)", (*Suite).Fig11},
+		{"table2", "nnread/nnwrite power properties (Table II)", (*Suite).Table2},
+		{"breakdown", "Energy-savings breakdown, static vs dynamic (Sec. V-C)", (*Suite).BreakdownReport},
+		{"table3", "fio sequential/random tests (Table III)", (*Suite).Table3},
+		{"hypothetical", "Data-reorganization hypothetical (Sec. V-D)", (*Suite).Hypothetical},
+		{"intransit", "Multi-node in-transit pipeline (Future Work)", (*Suite).InTransit},
+		{"devices", "Device sweep: HDD/RAID/NVRAM/SSD (Future Work)", (*Suite).Devices},
+		{"optimized", "Alternative post-processing optimizations (Conclusion)", (*Suite).Optimized},
+		{"sampling", "In-situ data sampling: energy vs quality (refs 21, 25)", (*Suite).Sampling},
+		{"pfs", "Post-processing on a parallel filesystem (Future Work)", (*Suite).PFS},
+		{"powercap", "RAPL package power capping (Fig. 9 extension)", (*Suite).PowerCap},
+		{"compression", "In-situ payload compression (ref 22)", (*Suite).Compression},
+		{"cinema", "Image-database in-situ (ref 12)", (*Suite).Cinema},
+		{"ablations", "Design-choice ablations (ours)", (*Suite).Ablations},
+	}
+}
+
+// ByID returns the registered experiment, or an error listing valid IDs.
+func ByID(id string) (Experiment, error) {
+	var ids []string
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (valid: %v)", id, ids)
+}

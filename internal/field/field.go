@@ -1,0 +1,69 @@
+// Package field provides the dense 2-D scalar field shared by every
+// proxy application (heat, ocean) and consumed by the visualization and
+// checkpoint layers.
+package field
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a row-major 2-D scalar field.
+type Grid struct {
+	NX, NY int // columns, rows
+	Data   []float64
+}
+
+// New allocates a zeroed NX×NY grid.
+func New(nx, ny int) *Grid {
+	if nx <= 0 || ny <= 0 {
+		panic(fmt.Sprintf("field: grid dimensions %dx%d must be positive", nx, ny))
+	}
+	return &Grid{NX: nx, NY: ny, Data: make([]float64, nx*ny)}
+}
+
+// At returns the value at column x, row y.
+func (g *Grid) At(x, y int) float64 { return g.Data[y*g.NX+x] }
+
+// Set stores v at column x, row y.
+func (g *Grid) Set(x, y int, v float64) { g.Data[y*g.NX+x] = v }
+
+// Fill sets every cell to v.
+func (g *Grid) Fill(v float64) {
+	for i := range g.Data {
+		g.Data[i] = v
+	}
+}
+
+// Clone returns an independent copy.
+func (g *Grid) Clone() *Grid {
+	c := New(g.NX, g.NY)
+	copy(c.Data, g.Data)
+	return c
+}
+
+// MinMax returns the field extrema.
+func (g *Grid) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range g.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Mean returns the field average.
+func (g *Grid) Mean() float64 {
+	var sum float64
+	for _, v := range g.Data {
+		sum += v
+	}
+	return sum / float64(len(g.Data))
+}
+
+// Bytes returns the size of the field data in bytes (8 per cell).
+func (g *Grid) Bytes() int { return len(g.Data) * 8 }

@@ -1,0 +1,77 @@
+package field
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessors(t *testing.T) {
+	g := New(4, 3)
+	g.Set(2, 1, 7.5)
+	if g.At(2, 1) != 7.5 {
+		t.Errorf("At(2,1) = %v", g.At(2, 1))
+	}
+	if g.Bytes() != 4*3*8 {
+		t.Errorf("Bytes = %d", g.Bytes())
+	}
+}
+
+func TestRowMajorLayout(t *testing.T) {
+	g := New(3, 2)
+	g.Set(1, 0, 1)
+	g.Set(0, 1, 2)
+	if g.Data[1] != 1 || g.Data[3] != 2 {
+		t.Errorf("layout not row-major: %v", g.Data)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(3, 3)
+	c := g.Clone()
+	c.Set(1, 1, 9)
+	if g.At(1, 1) != 0 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestFillMinMaxMean(t *testing.T) {
+	g := New(3, 3)
+	g.Fill(2)
+	g.Set(0, 0, -1)
+	g.Set(2, 2, 5)
+	lo, hi := g.MinMax()
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = %v/%v", lo, hi)
+	}
+	want := (2*7 - 1 + 5) / 9.0
+	if m := g.Mean(); math.Abs(m-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", m, want)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+// Property: At/Set round-trip for arbitrary in-bounds coordinates.
+func TestAtSetRoundTripProperty(t *testing.T) {
+	g := New(17, 13)
+	f := func(x, y uint8, v float64) bool {
+		px, py := int(x)%17, int(y)%13
+		g.Set(px, py, v)
+		return g.At(px, py) == v || (math.IsNaN(v) && math.IsNaN(g.At(px, py)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

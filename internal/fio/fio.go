@@ -1,0 +1,167 @@
+// Package fio reimplements the fio disk-benchmark tests of the paper's
+// §V-D: sequential and random reads and writes of 4 GiB against the
+// simulated disk, measuring execution time, full-system power, and the
+// disk's dynamic power and energy (Table III).
+//
+// Random tests use a shuffled full-coverage block map, like fio's
+// default randommap: every block is touched exactly once, in random
+// order.
+package fio
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+// TestKind selects one of the four Table III workloads.
+type TestKind int
+
+// The fio tests of Table III.
+const (
+	SeqRead TestKind = iota
+	RandRead
+	SeqWrite
+	RandWrite
+)
+
+func (k TestKind) String() string {
+	switch k {
+	case SeqRead:
+		return "Sequential Read"
+	case RandRead:
+		return "Random Read"
+	case SeqWrite:
+		return "Sequential Write"
+	case RandWrite:
+		return "Random Write"
+	default:
+		return fmt.Sprintf("TestKind(%d)", int(k))
+	}
+}
+
+// Config describes a run.
+type Config struct {
+	// FileSize is the total data moved (4 GiB in the paper).
+	FileSize units.Bytes
+	// SeqBlock is the request size of sequential tests (128 KiB).
+	SeqBlock units.Bytes
+	// RandBlock is the request size of random tests (16 KiB).
+	RandBlock units.Bytes
+	// IdleBaseline is the idle system power used to attribute the
+	// "disk dynamic power" residual, as the paper does. Zero means
+	// "use the node's own static floor".
+	IdleBaseline units.Watts
+}
+
+// DefaultConfig returns the paper's 4 GiB test setup.
+func DefaultConfig() Config {
+	return Config{
+		FileSize:     4 * units.GiB,
+		SeqBlock:     128 * units.KiB,
+		RandBlock:    16 * units.KiB,
+		IdleBaseline: 104.5,
+	}
+}
+
+// Result is one Table III row.
+type Result struct {
+	Kind TestKind
+
+	ExecTime units.Seconds
+	// FullSystemPower is the run's average wall power.
+	FullSystemPower units.Watts
+	// DiskDynPower is the residual above the idle baseline — the
+	// paper's attribution of everything non-idle to the disk.
+	DiskDynPower units.Watts
+	// DiskDynEnergy = DiskDynPower × ExecTime.
+	DiskDynEnergy units.Joules
+	// FullSystemEnergy is the total wall energy of the run.
+	FullSystemEnergy units.Joules
+}
+
+// Run executes one fio test on the node. The file is preallocated
+// contiguously and dropped from the cache first, so reads are cold and
+// writes trigger no allocation or journaling — matching fio on a
+// preallocated test file.
+func Run(n *node.Node, kind TestKind, cfg Config) Result {
+	if cfg.FileSize <= 0 || cfg.SeqBlock <= 0 || cfg.RandBlock <= 0 {
+		panic("fio: config sizes must be positive")
+	}
+	name := fmt.Sprintf("fio-%d.dat", kind)
+	f := n.FS.Create(name, storage.AllocContiguous)
+	n.WithIO(func() {
+		f.AppendSparse(cfg.FileSize)
+		f.Fsync()
+		n.FS.DropCaches()
+	})
+	n.WaitDiskIdle()
+
+	block := cfg.SeqBlock
+	if kind == RandRead || kind == RandWrite {
+		block = cfg.RandBlock
+	}
+	blocks := int(cfg.FileSize / block)
+	order := make([]int, blocks)
+	for i := range order {
+		order[i] = i
+	}
+	if kind == RandRead || kind == RandWrite {
+		rng := n.Rand()
+		for i := blocks - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+
+	startT := n.Now()
+	startE := n.SystemEnergy()
+	n.WithIO(func() {
+		for _, b := range order {
+			off := units.Bytes(b) * block
+			switch kind {
+			case SeqRead, RandRead:
+				f.ReadSparseAt(off, block)
+			case SeqWrite, RandWrite:
+				f.WriteSparseAt(off, block)
+			}
+		}
+		if kind == SeqWrite || kind == RandWrite {
+			f.Fsync()
+		}
+	})
+	n.WaitDiskIdle()
+
+	elapsed := n.Now() - startT
+	energy := n.SystemEnergy() - startE
+	avg := units.AveragePower(energy, elapsed)
+	baseline := cfg.IdleBaseline
+	if baseline == 0 {
+		baseline = n.IdleSystemPower()
+	}
+	dyn := avg - baseline
+	if dyn < 0 {
+		dyn = 0
+	}
+	n.FS.Delete(name)
+	return Result{
+		Kind:             kind,
+		ExecTime:         elapsed,
+		FullSystemPower:  avg,
+		DiskDynPower:     dyn,
+		DiskDynEnergy:    units.Energy(dyn, elapsed),
+		FullSystemEnergy: energy,
+	}
+}
+
+// RunAll executes the four tests in Table III order on fresh state.
+func RunAll(n *node.Node, cfg Config) []Result {
+	kinds := []TestKind{SeqRead, RandRead, SeqWrite, RandWrite}
+	out := make([]Result, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, Run(n, k, cfg))
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package heat implements the proxy application of the paper: a 2-D
+// explicit finite-difference (FTCS) heat-conduction simulation. The
+// solver does real numerical work on real buffers — the checkpoints the
+// pipelines write and the frames the visualizer renders are genuine
+// data products of this solver — while the platform model separately
+// charges virtual time for the work performed.
+package heat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/field"
+)
+
+// Grid is the shared 2-D scalar field type (see package field).
+type Grid = field.Grid
+
+// NewGrid allocates a zeroed NX×NY grid.
+func NewGrid(nx, ny int) *Grid { return field.New(nx, ny) }
+
+// Source holds a rectangular region at a fixed temperature — the
+// "heating element" driving the simulation. A source with
+// PeriodSteps > 0 cycles: it holds its temperature for
+// PeriodSteps*Duty steps, then releases the region for the rest of the
+// period (a pulsed heater).
+type Source struct {
+	X0, Y0, X1, Y1 int // half-open cell rectangle
+	Temp           float64
+	// PeriodSteps is the duty cycle length in sub-steps (0 = always on).
+	PeriodSteps uint64
+	// Duty is the active fraction of the period (0 < Duty <= 1).
+	Duty float64
+}
+
+// activeAt reports whether the source is clamping at a given sub-step.
+func (s Source) activeAt(step uint64) bool {
+	if s.PeriodSteps == 0 {
+		return true
+	}
+	return float64(step%s.PeriodSteps) < s.Duty*float64(s.PeriodSteps)
+}
+
+// BoundaryKind selects the edge condition.
+type BoundaryKind int
+
+// Boundary conditions.
+const (
+	// BoundaryDirichlet clamps the edges to BoundaryTemp (a cold bath).
+	BoundaryDirichlet BoundaryKind = iota
+	// BoundaryNeumann insulates the edges (zero flux): edge cells copy
+	// their interior neighbor, so no heat leaves the domain.
+	BoundaryNeumann
+)
+
+// Params configures the solver.
+type Params struct {
+	NX, NY int
+	// Alpha is the thermal diffusivity; DX/DY the cell spacing.
+	Alpha, DX, DY float64
+	// DT is the time step; 0 selects 90 % of the FTCS stability limit.
+	DT float64
+	// Boundary selects the edge condition (default Dirichlet).
+	Boundary BoundaryKind
+	// BoundaryTemp is the fixed edge temperature under Dirichlet.
+	BoundaryTemp float64
+	// InitialTemp fills the interior at start.
+	InitialTemp float64
+	// Workers is the goroutine count for a step; 0 means GOMAXPROCS.
+	Workers int
+	Sources []Source
+}
+
+// DefaultParams returns the paper's configuration: a 128×128 grid
+// (128 KiB of float64), one hot source, cold boundaries.
+func DefaultParams() Params {
+	return Params{
+		NX: 128, NY: 128,
+		Alpha: 1.0, DX: 1.0, DY: 1.0,
+		BoundaryTemp: 0,
+		InitialTemp:  20,
+		Sources: []Source{
+			{X0: 56, Y0: 56, X1: 72, Y1: 72, Temp: 1000},
+		},
+	}
+}
+
+// StabilityLimit returns the largest stable FTCS time step for the
+// given diffusivity and spacing.
+func StabilityLimit(alpha, dx, dy float64) float64 {
+	return (dx * dx * dy * dy) / (2 * alpha * (dx*dx + dy*dy))
+}
+
+// Solver advances the heat equation.
+type Solver struct {
+	params    Params
+	cur, next *Grid
+	steps     uint64
+	workers   int
+}
+
+// NewSolver builds a solver, validating parameters and applying the
+// initial condition. It panics on unstable DT or invalid geometry.
+func NewSolver(p Params) *Solver {
+	if p.NX < 3 || p.NY < 3 {
+		panic(fmt.Sprintf("heat: grid %dx%d too small for a stencil", p.NX, p.NY))
+	}
+	if p.Alpha <= 0 || p.DX <= 0 || p.DY <= 0 {
+		panic("heat: alpha, dx, dy must be positive")
+	}
+	limit := StabilityLimit(p.Alpha, p.DX, p.DY)
+	if p.DT == 0 {
+		p.DT = 0.9 * limit
+	}
+	if p.DT > limit {
+		panic(fmt.Sprintf("heat: dt %g exceeds FTCS stability limit %g", p.DT, limit))
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for _, s := range p.Sources {
+		if s.X0 < 0 || s.Y0 < 0 || s.X1 > p.NX || s.Y1 > p.NY || s.X0 >= s.X1 || s.Y0 >= s.Y1 {
+			panic(fmt.Sprintf("heat: source %+v outside %dx%d grid", s, p.NX, p.NY))
+		}
+		if s.PeriodSteps > 0 && (s.Duty <= 0 || s.Duty > 1) {
+			panic(fmt.Sprintf("heat: pulsed source duty %v outside (0,1]", s.Duty))
+		}
+	}
+	s := &Solver{params: p, cur: NewGrid(p.NX, p.NY), next: NewGrid(p.NX, p.NY), workers: workers}
+	s.cur.Fill(p.InitialTemp)
+	s.applyBoundary(s.cur)
+	s.applySources(s.cur)
+	return s
+}
+
+// Params returns the solver configuration (DT resolved).
+func (s *Solver) Params() Params { return s.params }
+
+// Field returns the current temperature field. Callers must not write
+// to it while stepping.
+func (s *Solver) Field() *Grid { return s.cur }
+
+// Steps returns how many sub-steps have been taken.
+func (s *Solver) Steps() uint64 { return s.steps }
+
+// Time returns the simulated physical time.
+func (s *Solver) Time() float64 { return float64(s.steps) * s.params.DT }
+
+// CellUpdates returns the interior cell-update count of n steps, the
+// work unit the platform model charges for.
+func (s *Solver) CellUpdates(n int) uint64 {
+	return uint64(n) * uint64(s.params.NX-2) * uint64(s.params.NY-2)
+}
+
+func (s *Solver) applyBoundary(g *Grid) {
+	switch s.params.Boundary {
+	case BoundaryDirichlet:
+		for x := 0; x < g.NX; x++ {
+			g.Set(x, 0, s.params.BoundaryTemp)
+			g.Set(x, g.NY-1, s.params.BoundaryTemp)
+		}
+		for y := 0; y < g.NY; y++ {
+			g.Set(0, y, s.params.BoundaryTemp)
+			g.Set(g.NX-1, y, s.params.BoundaryTemp)
+		}
+	case BoundaryNeumann:
+		for x := 0; x < g.NX; x++ {
+			g.Set(x, 0, g.At(x, 1))
+			g.Set(x, g.NY-1, g.At(x, g.NY-2))
+		}
+		for y := 0; y < g.NY; y++ {
+			g.Set(0, y, g.At(1, y))
+			g.Set(g.NX-1, y, g.At(g.NX-2, y))
+		}
+	default:
+		panic(fmt.Sprintf("heat: unknown boundary kind %d", s.params.Boundary))
+	}
+}
+
+func (s *Solver) applySources(g *Grid) {
+	for _, src := range s.params.Sources {
+		if !src.activeAt(s.steps) {
+			continue
+		}
+		for y := src.Y0; y < src.Y1; y++ {
+			row := g.Data[y*g.NX:]
+			for x := src.X0; x < src.X1; x++ {
+				row[x] = src.Temp
+			}
+		}
+	}
+}
+
+// Step advances n FTCS sub-steps, parallelized across row bands.
+func (s *Solver) Step(n int) {
+	for i := 0; i < n; i++ {
+		s.stepOnce()
+	}
+}
+
+func (s *Solver) stepOnce() {
+	p := s.params
+	rx := p.Alpha * p.DT / (p.DX * p.DX)
+	ry := p.Alpha * p.DT / (p.DY * p.DY)
+	cur, next := s.cur, s.next
+	nx, ny := p.NX, p.NY
+
+	bandRows := (ny - 2 + s.workers - 1) / s.workers
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		y0 := 1 + w*bandRows
+		y1 := y0 + bandRows
+		if y1 > ny-1 {
+			y1 = ny - 1
+		}
+		if y0 >= y1 {
+			break
+		}
+		wg.Add(1)
+		go func(y0, y1 int) {
+			defer wg.Done()
+			for y := y0; y < y1; y++ {
+				c := cur.Data[y*nx : (y+1)*nx]
+				up := cur.Data[(y-1)*nx : y*nx]
+				down := cur.Data[(y+1)*nx : (y+2)*nx]
+				out := next.Data[y*nx : (y+1)*nx]
+				for x := 1; x < nx-1; x++ {
+					out[x] = c[x] +
+						rx*(c[x-1]-2*c[x]+c[x+1]) +
+						ry*(up[x]-2*c[x]+down[x])
+				}
+			}
+		}(y0, y1)
+	}
+	wg.Wait()
+
+	s.cur, s.next = next, cur
+	s.applyBoundary(s.cur)
+	s.applySources(s.cur)
+	s.steps++
+}

@@ -1,0 +1,324 @@
+package heat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func smallParams() Params {
+	return Params{
+		NX: 32, NY: 32,
+		Alpha: 1, DX: 1, DY: 1,
+		BoundaryTemp: 0, InitialTemp: 20,
+		Sources: []Source{{X0: 14, Y0: 14, X1: 18, Y1: 18, Temp: 100}},
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := NewGrid(4, 3)
+	g.Set(2, 1, 7.5)
+	if g.At(2, 1) != 7.5 {
+		t.Errorf("At(2,1) = %v", g.At(2, 1))
+	}
+	if g.Bytes() != 4*3*8 {
+		t.Errorf("Bytes = %d", g.Bytes())
+	}
+}
+
+func TestGridCloneIndependent(t *testing.T) {
+	g := NewGrid(3, 3)
+	c := g.Clone()
+	c.Set(1, 1, 9)
+	if g.At(1, 1) != 0 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestGridMinMaxMean(t *testing.T) {
+	g := NewGrid(3, 3)
+	g.Fill(2)
+	g.Set(0, 0, -1)
+	g.Set(2, 2, 5)
+	lo, hi := g.MinMax()
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = %v/%v", lo, hi)
+	}
+	want := (2*7 - 1 + 5) / 9.0
+	if m := g.Mean(); math.Abs(m-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", m, want)
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid(0, 5) did not panic")
+		}
+	}()
+	NewGrid(0, 5)
+}
+
+func TestStabilityLimit(t *testing.T) {
+	// alpha=1, dx=dy=1: limit = 1/4.
+	if got := StabilityLimit(1, 1, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("StabilityLimit = %v, want 0.25", got)
+	}
+}
+
+func TestUnstableDTPanics(t *testing.T) {
+	p := smallParams()
+	p.DT = 0.3 // above the 0.25 limit
+	defer func() {
+		if recover() == nil {
+			t.Error("unstable DT did not panic")
+		}
+	}()
+	NewSolver(p)
+}
+
+func TestSourceOutsideGridPanics(t *testing.T) {
+	p := smallParams()
+	p.Sources = []Source{{X0: 30, Y0: 30, X1: 40, Y1: 40, Temp: 1}}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-grid source did not panic")
+		}
+	}()
+	NewSolver(p)
+}
+
+func TestSourceAndBoundaryHeld(t *testing.T) {
+	s := NewSolver(smallParams())
+	s.Step(50)
+	g := s.Field()
+	if g.At(15, 15) != 100 {
+		t.Errorf("source cell = %v, want 100", g.At(15, 15))
+	}
+	if g.At(0, 10) != 0 || g.At(10, 0) != 0 || g.At(31, 10) != 0 || g.At(10, 31) != 0 {
+		t.Error("boundary not held at 0")
+	}
+}
+
+func TestHeatDiffusesOutward(t *testing.T) {
+	p := smallParams()
+	p.InitialTemp = 0
+	s := NewSolver(p)
+	before := s.Field().At(10, 16) // off-source cell
+	s.Step(200)
+	after := s.Field().At(10, 16)
+	if after <= before {
+		t.Errorf("heat did not reach (10,16): %v -> %v", before, after)
+	}
+	// Closer cells are hotter than farther cells (monotone decay from source).
+	near := s.Field().At(12, 16)
+	far := s.Field().At(4, 16)
+	if near <= far {
+		t.Errorf("temperature not decaying with distance: near %v, far %v", near, far)
+	}
+}
+
+func TestMaximumPrinciple(t *testing.T) {
+	// FTCS under the stability limit obeys a discrete maximum principle:
+	// values stay within [min(boundary,initial,source), max(...)].
+	s := NewSolver(smallParams())
+	s.Step(500)
+	lo, hi := s.Field().MinMax()
+	if lo < 0-1e-9 || hi > 100+1e-9 {
+		t.Errorf("field escaped [0,100]: [%v, %v]", lo, hi)
+	}
+}
+
+func TestConvergesToSteadyState(t *testing.T) {
+	s := NewSolver(smallParams())
+	s.Step(20000)
+	a := s.Field().Clone()
+	s.Step(1000)
+	b := s.Field()
+	var maxDelta float64
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	if maxDelta > 1e-6 {
+		t.Errorf("not converged: max delta %v after 20k steps", maxDelta)
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	p := smallParams()
+	p.Workers = 1
+	serial := NewSolver(p)
+	p.Workers = 7 // deliberately not dividing NY-2
+	parallel := NewSolver(p)
+	serial.Step(100)
+	parallel.Step(100)
+	for i := range serial.Field().Data {
+		if serial.Field().Data[i] != parallel.Field().Data[i] {
+			t.Fatalf("serial and 7-worker solvers diverge at cell %d", i)
+		}
+	}
+}
+
+func TestSymmetryPreserved(t *testing.T) {
+	// A centered square source on a square grid must stay 4-fold symmetric.
+	p := Params{
+		NX: 33, NY: 33, Alpha: 1, DX: 1, DY: 1,
+		InitialTemp: 0,
+		Sources:     []Source{{X0: 15, Y0: 15, X1: 18, Y1: 18, Temp: 50}},
+	}
+	s := NewSolver(p)
+	s.Step(300)
+	g := s.Field()
+	for y := 0; y < 33; y++ {
+		for x := 0; x < 33; x++ {
+			if math.Abs(g.At(x, y)-g.At(32-x, y)) > 1e-9 {
+				t.Fatalf("x-mirror broken at (%d,%d)", x, y)
+			}
+			if math.Abs(g.At(x, y)-g.At(x, 32-y)) > 1e-9 {
+				t.Fatalf("y-mirror broken at (%d,%d)", x, y)
+			}
+			if math.Abs(g.At(x, y)-g.At(y, x)) > 1e-9 {
+				t.Fatalf("transpose symmetry broken at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestCellUpdates(t *testing.T) {
+	s := NewSolver(smallParams())
+	if got := s.CellUpdates(10); got != 10*30*30 {
+		t.Errorf("CellUpdates(10) = %d, want %d", got, 10*30*30)
+	}
+}
+
+func TestStepsAndTime(t *testing.T) {
+	s := NewSolver(smallParams())
+	s.Step(7)
+	if s.Steps() != 7 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+	want := 7 * s.Params().DT
+	if math.Abs(s.Time()-want) > 1e-12 {
+		t.Errorf("Time = %v, want %v", s.Time(), want)
+	}
+}
+
+// Property: without sources, with uniform initial == boundary temp, the
+// field is a fixed point of the solver for any stable dt.
+func TestUniformFieldIsFixedPoint(t *testing.T) {
+	f := func(temp uint8, dtFrac uint8) bool {
+		p := Params{
+			NX: 16, NY: 16, Alpha: 1, DX: 1, DY: 1,
+			BoundaryTemp: float64(temp), InitialTemp: float64(temp),
+			DT: 0.25 * (float64(dtFrac%100) + 1) / 101,
+		}
+		s := NewSolver(p)
+		s.Step(20)
+		lo, hi := s.Field().MinMax()
+		return math.Abs(lo-float64(temp)) < 1e-12 && math.Abs(hi-float64(temp)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeumannBoundaryConservesHeat(t *testing.T) {
+	// An insulated box with no sources keeps its total heat constant.
+	p := Params{
+		NX: 32, NY: 32, Alpha: 1, DX: 1, DY: 1,
+		Boundary:    BoundaryNeumann,
+		InitialTemp: 0,
+	}
+	s := NewSolver(p)
+	// Seed an off-center blob directly.
+	for y := 10; y < 14; y++ {
+		for x := 8; x < 12; x++ {
+			s.Field().Set(x, y, 100)
+		}
+	}
+	sum := func() float64 {
+		var total float64
+		// Interior sum: the ghost edges mirror interior cells.
+		for y := 1; y < 31; y++ {
+			for x := 1; x < 31; x++ {
+				total += s.Field().At(x, y)
+			}
+		}
+		return total
+	}
+	before := sum()
+	s.Step(300)
+	after := sum()
+	if math.Abs(after-before) > 0.02*before {
+		t.Errorf("insulated box lost heat: %v -> %v", before, after)
+	}
+	// And it homogenizes: extremes shrink toward the mean.
+	lo, hi := s.Field().MinMax()
+	if hi-lo > 30 {
+		t.Errorf("field not homogenizing: spread %v", hi-lo)
+	}
+}
+
+func TestDirichletLosesHeatNeumannDoesNot(t *testing.T) {
+	mk := func(b BoundaryKind) *Solver {
+		p := smallParams()
+		p.Boundary = b
+		p.Sources = nil
+		p.InitialTemp = 50
+		return NewSolver(p)
+	}
+	d := mk(BoundaryDirichlet)
+	n := mk(BoundaryNeumann)
+	d.Step(500)
+	n.Step(500)
+	if d.Field().Mean() >= 45 {
+		t.Errorf("Dirichlet box kept its heat: mean %v", d.Field().Mean())
+	}
+	if n.Field().Mean() < 49.9 {
+		t.Errorf("Neumann box lost heat: mean %v", n.Field().Mean())
+	}
+}
+
+func TestPulsedSourceCycles(t *testing.T) {
+	p := smallParams()
+	p.Sources = []Source{{
+		X0: 14, Y0: 14, X1: 18, Y1: 18, Temp: 100,
+		PeriodSteps: 100, Duty: 0.5,
+	}}
+	s := NewSolver(p)
+	s.Step(30) // mid active half: clamped
+	if s.Field().At(15, 15) != 100 {
+		t.Errorf("source inactive during duty window: %v", s.Field().At(15, 15))
+	}
+	s.Step(40) // step 70: inactive half -> region cools below clamp
+	if s.Field().At(15, 15) >= 100 {
+		t.Error("source still clamped during off window")
+	}
+	s.Step(40) // step 110: active again
+	if s.Field().At(15, 15) != 100 {
+		t.Error("source did not re-engage on the next period")
+	}
+}
+
+func TestPulsedSourceValidation(t *testing.T) {
+	p := smallParams()
+	p.Sources = []Source{{X0: 1, Y0: 1, X1: 2, Y1: 2, Temp: 1, PeriodSteps: 10, Duty: 1.5}}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad duty did not panic")
+		}
+	}()
+	NewSolver(p)
+}
+
+func BenchmarkStep128(b *testing.B) {
+	p := DefaultParams()
+	s := NewSolver(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(1)
+	}
+}

@@ -1,0 +1,281 @@
+// Package ocean is a second proxy application — a 2-D shallow-water
+// solver in the spirit of the ocean models the paper's Future Work
+// targets (MPAS-Ocean [32], visualized in-situ by Ahrens et al. [12]).
+// The paper's own limitations section notes its findings rest on a
+// single proxy app; this solver lets the pipelines be evaluated on a
+// second, wave-dominated workload.
+//
+// The scheme is the classic collocated explicit shallow-water update
+// (linearized gravity waves plus advection-free momentum, with Coriolis
+// optional) under a CFL-checked time step, parallelized across row
+// bands like the heat solver.
+package ocean
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/field"
+)
+
+// Params configures the solver.
+type Params struct {
+	NX, NY int
+	// Depth is the resting water depth (m); Gravity in m/s².
+	Depth, Gravity float64
+	// DX, DY are cell sizes (m); DT the time step (0 = 45 % of CFL).
+	DX, DY, DT float64
+	// Coriolis is the f-plane parameter (1/s); 0 disables rotation.
+	Coriolis float64
+	// Drops are initial Gaussian height perturbations.
+	Drops []Drop
+	// Workers is the goroutine count per step; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Drop is a Gaussian bump in the initial height field.
+type Drop struct {
+	CX, CY    int
+	Amplitude float64
+	Sigma     float64
+}
+
+// DefaultParams returns a 128×128 basin with two interfering drops —
+// the same field footprint as the heat proxy (128 KiB).
+func DefaultParams() Params {
+	return Params{
+		NX: 128, NY: 128,
+		Depth: 100, Gravity: 9.81,
+		DX: 1000, DY: 1000,
+		Drops: []Drop{
+			{CX: 40, CY: 40, Amplitude: 2.0, Sigma: 6},
+			{CX: 90, CY: 80, Amplitude: -1.5, Sigma: 9},
+		},
+	}
+}
+
+// CFLLimit returns the maximum stable time step for the gravity-wave
+// speed sqrt(g·H).
+func CFLLimit(p Params) float64 {
+	c := math.Sqrt(p.Gravity * p.Depth)
+	h := math.Min(p.DX, p.DY)
+	return h / (c * math.Sqrt2)
+}
+
+// Solver advances the shallow-water equations.
+type Solver struct {
+	params     Params
+	h, u, v    *field.Grid // height anomaly and velocities
+	nh, nu, nv *field.Grid
+	steps      uint64
+	workers    int
+}
+
+// NewSolver validates parameters and applies the initial condition.
+func NewSolver(p Params) *Solver {
+	if p.NX < 3 || p.NY < 3 {
+		panic(fmt.Sprintf("ocean: grid %dx%d too small", p.NX, p.NY))
+	}
+	if p.Depth <= 0 || p.Gravity <= 0 || p.DX <= 0 || p.DY <= 0 {
+		panic("ocean: depth, gravity, dx, dy must be positive")
+	}
+	limit := CFLLimit(p)
+	if p.DT == 0 {
+		p.DT = 0.45 * limit
+	}
+	if p.DT > limit {
+		panic(fmt.Sprintf("ocean: dt %g exceeds CFL limit %g", p.DT, limit))
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Solver{
+		params: p,
+		h:      field.New(p.NX, p.NY), u: field.New(p.NX, p.NY), v: field.New(p.NX, p.NY),
+		nh: field.New(p.NX, p.NY), nu: field.New(p.NX, p.NY), nv: field.New(p.NX, p.NY),
+		workers: workers,
+	}
+	for _, d := range p.Drops {
+		s.applyDrop(d)
+	}
+	return s
+}
+
+func (s *Solver) applyDrop(d Drop) {
+	if d.Sigma <= 0 {
+		panic("ocean: drop needs positive sigma")
+	}
+	inv := 1 / (2 * d.Sigma * d.Sigma)
+	for y := 0; y < s.params.NY; y++ {
+		for x := 0; x < s.params.NX; x++ {
+			dx, dy := float64(x-d.CX), float64(y-d.CY)
+			s.h.Data[y*s.params.NX+x] += d.Amplitude * math.Exp(-(dx*dx+dy*dy)*inv)
+		}
+	}
+}
+
+// Params returns the configuration (DT resolved).
+func (s *Solver) Params() Params { return s.params }
+
+// Field returns the height-anomaly field (the visualized quantity).
+func (s *Solver) Field() *field.Grid { return s.h }
+
+// Velocity returns the velocity component fields.
+func (s *Solver) Velocity() (u, v *field.Grid) { return s.u, s.v }
+
+// Steps returns the sub-steps taken.
+func (s *Solver) Steps() uint64 { return s.steps }
+
+// Time returns the simulated physical time in seconds.
+func (s *Solver) Time() float64 { return float64(s.steps) * s.params.DT }
+
+// CellUpdates returns the work of n steps: three field updates per
+// interior cell.
+func (s *Solver) CellUpdates(n int) uint64 {
+	return uint64(n) * uint64(s.params.NX-2) * uint64(s.params.NY-2) * 3
+}
+
+// TotalVolume returns the integral of the height anomaly over the
+// interior cells (ghost/boundary cells excluded) — an exact invariant
+// of the scheme thanks to the mirrored wall velocities.
+func (s *Solver) TotalVolume() float64 {
+	var sum float64
+	nx := s.params.NX
+	for y := 1; y < s.params.NY-1; y++ {
+		row := s.h.Data[y*nx : (y+1)*nx]
+		for x := 1; x < nx-1; x++ {
+			sum += row[x]
+		}
+	}
+	return sum * s.params.DX * s.params.DY
+}
+
+// Energy returns the discrete total energy: potential ½g·h² plus
+// kinetic ½H·(u²+v²), integrated over the basin.
+func (s *Solver) Energy() float64 {
+	p := s.params
+	var e float64
+	for i := range s.h.Data {
+		hh := s.h.Data[i]
+		uu := s.u.Data[i]
+		vv := s.v.Data[i]
+		e += 0.5*p.Gravity*hh*hh + 0.5*p.Depth*(uu*uu+vv*vv)
+	}
+	return e * p.DX * p.DY
+}
+
+// Step advances n sub-steps.
+func (s *Solver) Step(n int) {
+	for i := 0; i < n; i++ {
+		s.stepOnce()
+	}
+}
+
+func (s *Solver) stepOnce() {
+	p := s.params
+	nx, ny := p.NX, p.NY
+	gdtx := p.Gravity * p.DT / p.DX
+	gdty := p.Gravity * p.DT / p.DY
+	hdtx := p.Depth * p.DT / p.DX
+	hdty := p.Depth * p.DT / p.DY
+	f := p.Coriolis * p.DT
+
+	h, u, v := s.h, s.u, s.v
+	nh, nu, nv := s.nh, s.nu, s.nv
+
+	// Forward-backward (symplectic Euler) scheme: update momentum from
+	// the old height, then update height from the *new* momentum. The
+	// naive simultaneous update is unconditionally unstable for wave
+	// systems; this variant is stable under the CFL limit.
+	parallelRows := func(fn func(y0, y1 int)) {
+		bandRows := (ny - 2 + s.workers - 1) / s.workers
+		var wg sync.WaitGroup
+		for w := 0; w < s.workers; w++ {
+			y0 := 1 + w*bandRows
+			y1 := y0 + bandRows
+			if y1 > ny-1 {
+				y1 = ny - 1
+			}
+			if y0 >= y1 {
+				break
+			}
+			wg.Add(1)
+			go func(y0, y1 int) {
+				defer wg.Done()
+				fn(y0, y1)
+			}(y0, y1)
+		}
+		wg.Wait()
+	}
+
+	// Pass 1: momentum from the height gradient (+ Coriolis).
+	parallelRows(func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			row := y * nx
+			up, down := row-nx, row+nx
+			for x := 1; x < nx-1; x++ {
+				i := row + x
+				nu.Data[i] = u.Data[i] - gdtx*(h.Data[i+1]-h.Data[i-1])/2 + f*v.Data[i]
+				nv.Data[i] = v.Data[i] - gdty*(h.Data[down+x]-h.Data[up+x])/2 - f*u.Data[i]
+			}
+		}
+	})
+	s.u, s.nu = nu, u
+	s.v, s.nv = nv, v
+	s.reflectVelocityBoundaries()
+	u, v = s.u, s.v
+
+	// Pass 2: continuity from the divergence of the new momentum.
+	parallelRows(func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			row := y * nx
+			up, down := row-nx, row+nx
+			for x := 1; x < nx-1; x++ {
+				i := row + x
+				nh.Data[i] = h.Data[i] -
+					hdtx*(u.Data[i+1]-u.Data[i-1])/2 -
+					hdty*(v.Data[down+x]-v.Data[up+x])/2
+			}
+		}
+	})
+	s.h, s.nh = nh, h
+	s.reflectHeightBoundaries()
+	s.steps++
+}
+
+// reflectVelocityBoundaries implements closed basin walls by mirroring
+// the normal velocity (u(wall) = -u(adjacent)), which makes the
+// wall-face flux (u₀+u₁)/2 exactly zero and the interior volume an
+// exact invariant of the centered divergence; tangential velocity is
+// zero-gradient.
+func (s *Solver) reflectVelocityBoundaries() {
+	nx, ny := s.params.NX, s.params.NY
+	for x := 0; x < nx; x++ {
+		s.v.Set(x, 0, -s.v.At(x, 1))
+		s.v.Set(x, ny-1, -s.v.At(x, ny-2))
+		s.u.Set(x, 0, s.u.At(x, 1))
+		s.u.Set(x, ny-1, s.u.At(x, ny-2))
+	}
+	for y := 0; y < ny; y++ {
+		s.u.Set(0, y, -s.u.At(1, y))
+		s.u.Set(nx-1, y, -s.u.At(nx-2, y))
+		s.v.Set(0, y, s.v.At(1, y))
+		s.v.Set(nx-1, y, s.v.At(nx-2, y))
+	}
+}
+
+// reflectHeightBoundaries applies zero-gradient height at the walls.
+func (s *Solver) reflectHeightBoundaries() {
+	nx, ny := s.params.NX, s.params.NY
+	for x := 0; x < nx; x++ {
+		s.h.Set(x, 0, s.h.At(x, 1))
+		s.h.Set(x, ny-1, s.h.At(x, ny-2))
+	}
+	for y := 0; y < ny; y++ {
+		s.h.Set(0, y, s.h.At(1, y))
+		s.h.Set(nx-1, y, s.h.At(nx-2, y))
+	}
+}

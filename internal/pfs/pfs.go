@@ -1,0 +1,263 @@
+// Package pfs models a striped parallel filesystem (Lustre/GPFS-style)
+// for the paper's last Future Work item: "evaluation on multi-node
+// systems running parallel file systems to understand the impact of
+// [the] file system on energy consumption".
+//
+// A compute node (the client) stripes each file across N object storage
+// servers. All traffic traverses the client's single network uplink —
+// the realistic bottleneck — while server-side disk writes proceed in
+// parallel: the throughput win. Every server's static power burns for
+// the whole job: the energy cost.
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/netio"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+// Params configures the parallel filesystem.
+type Params struct {
+	// Servers is the object-storage-server count.
+	Servers int
+	// StripeSize is the per-server chunk of a striped file.
+	StripeSize units.Bytes
+	// Link is the client's uplink model (all stripes serialize on it).
+	Link netio.LinkParams
+	// ServerProfile builds each storage server (typically the same
+	// node hardware, dedicated to I/O).
+	ServerProfile node.Profile
+}
+
+// DefaultParams returns a 4-server stripe over a single 10 GbE uplink
+// with 1 MiB stripes on the paper's node hardware.
+func DefaultParams() Params {
+	p := node.SandyBridge()
+	p.OSNoiseSigma = 0 // servers idle quietly between requests
+	return Params{
+		Servers:       4,
+		StripeSize:    1 * units.MiB,
+		Link:          netio.TenGigE(),
+		ServerProfile: p,
+	}
+}
+
+// server is one object storage server.
+type server struct {
+	n     *node.Node
+	alloc units.Bytes
+	ioCPU *sim.Resource
+}
+
+// FileSystem is the client-side handle. All servers share the client
+// node's engine.
+type FileSystem struct {
+	params  Params
+	client  *node.Node
+	engine  *sim.Engine
+	uplink  *netio.Link
+	servers []*server
+
+	files map[string]*fileMeta
+	stats Stats
+}
+
+// fileMeta records a striped file's layout and retained content.
+type fileMeta struct {
+	size    units.Bytes
+	extents []stripeExtent
+	// header holds the retained real bytes (checkpoint header + field);
+	// the bulk payload is sparse.
+	header []byte
+}
+
+type stripeExtent struct {
+	server int
+	r      storage.Range
+}
+
+// Stats aggregates client-observed traffic.
+type Stats struct {
+	FilesWritten uint64
+	BytesWritten units.Bytes
+	BytesRead    units.Bytes
+}
+
+// New builds the parallel filesystem: Servers storage nodes on the
+// client's engine, reached through one shared uplink (modeled as the
+// link between the client and the first server's switch port).
+func New(client *node.Node, params Params, seed uint64) *FileSystem {
+	if params.Servers <= 0 || params.StripeSize <= 0 {
+		panic("pfs: needs positive server count and stripe size")
+	}
+	fs := &FileSystem{
+		params: params,
+		client: client,
+		engine: client.Engine,
+		files:  map[string]*fileMeta{},
+	}
+	for i := 0; i < params.Servers; i++ {
+		sn := node.NewOnEngine(client.Engine, params.ServerProfile, seed+uint64(i)*131)
+		fs.servers = append(fs.servers, &server{
+			n:     sn,
+			alloc: params.ServerProfile.FS.DataStart,
+			ioCPU: sim.NewResource(client.Engine),
+		})
+	}
+	fs.uplink = netio.Connect(client, fs.servers[0].n, params.Link)
+	return fs
+}
+
+// Servers returns the storage nodes (for energy accounting).
+func (fs *FileSystem) Servers() []*node.Node {
+	out := make([]*node.Node, 0, len(fs.servers))
+	for _, s := range fs.servers {
+		out = append(out, s.n)
+	}
+	return out
+}
+
+// ServersEnergy sums the storage nodes' cumulative energy.
+func (fs *FileSystem) ServersEnergy() units.Joules {
+	var sum units.Joules
+	for _, s := range fs.servers {
+		sum += s.n.SystemEnergy()
+	}
+	return sum
+}
+
+// Stats returns the client-observed counters.
+func (fs *FileSystem) Stats() Stats { return fs.stats }
+
+// Uplink returns the shared client link (for tests and reports).
+func (fs *FileSystem) Uplink() *netio.Link { return fs.uplink }
+
+// bracketCPU charges a short request-handling busy period on a server
+// via events.
+func (s *server) bracketCPU(d units.Seconds) {
+	start, end := s.ioCPU.Submit(d, nil)
+	at := func(t sim.Time, fn func()) {
+		if t <= s.n.Engine.Now() {
+			fn()
+			return
+		}
+		s.n.Engine.At(t, fn)
+	}
+	at(start, func() { s.n.SetLoad(1, power.IntensityIO, 0.3) })
+	s.n.Engine.At(end, func() {
+		if s.ioCPU.FreeAt() <= end {
+			s.n.SetIdle()
+		}
+	})
+}
+
+// WriteFile stripes a file across the servers and blocks until every
+// stripe is durable on a server disk. header is retained verbatim; the
+// remaining bytes are sparse. The client pays one serialization pass at
+// memory speed plus the uplink transfer; server disks absorb stripes in
+// parallel as they arrive.
+func (fs *FileSystem) WriteFile(name string, header []byte, total units.Bytes) {
+	if total < units.Bytes(len(header)) {
+		panic("pfs: total smaller than header")
+	}
+	if _, ok := fs.files[name]; ok {
+		panic(fmt.Sprintf("pfs: file %q already exists", name))
+	}
+	meta := &fileMeta{size: total, header: append([]byte(nil), header...)}
+
+	// Client-side serialization pass.
+	fs.engine.Advance(units.TransferTime(total, 3e9))
+
+	remaining := total
+	stripeIdx := 0
+	for remaining > 0 {
+		chunk := fs.params.StripeSize
+		if chunk > remaining {
+			chunk = remaining
+		}
+		srvIdx := stripeIdx % len(fs.servers)
+		srv := fs.servers[srvIdx]
+		r := storage.Range{Start: srv.alloc, End: srv.alloc + chunk}
+		srv.alloc += chunk
+		meta.extents = append(meta.extents, stripeExtent{server: srvIdx, r: r})
+
+		// Each stripe serializes on the shared uplink, then its server
+		// writes it; different servers' disks overlap.
+		fs.uplink.Send(chunk, func() {
+			srv.bracketCPU(0.0002)
+			srv.n.Device.Submit(storage.OpWrite, r.Start, r.Len(), nil)
+		})
+		stripeIdx++
+		remaining -= chunk
+	}
+	fs.drain()
+	fs.files[name] = meta
+	fs.stats.FilesWritten++
+	fs.stats.BytesWritten += total
+}
+
+// ReadFile fetches a file back: server disks read stripes in parallel,
+// the uplink ships them to the client. Returns the retained header.
+func (fs *FileSystem) ReadFile(name string) ([]byte, error) {
+	meta, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("pfs: file %q not found", name)
+	}
+	for _, ext := range meta.extents {
+		srv := fs.servers[ext.server]
+		r := ext.r
+		srv.bracketCPU(0.0002)
+		end := srv.n.Device.Submit(storage.OpRead, r.Start, r.Len(), nil)
+		fs.engine.At(end, func() {
+			fs.uplink.Send(r.Len(), nil)
+		})
+	}
+	fs.drain()
+	// Client-side delivery pass.
+	fs.engine.Advance(units.TransferTime(meta.size, 3e9))
+	fs.stats.BytesRead += meta.size
+	return append([]byte(nil), meta.header...), nil
+}
+
+// Delete forgets a file (the experiments write each file once).
+func (fs *FileSystem) Delete(name string) { delete(fs.files, name) }
+
+// Barrier waits for all outstanding server activity — the distributed
+// sync between pipeline phases. Server-side caching is not modeled
+// (writes are direct), so there is nothing to drop.
+func (fs *FileSystem) Barrier() { fs.drain() }
+
+// drain advances the shared engine until the uplink and every server
+// is idle — the client's foreground wait.
+func (fs *FileSystem) drain() {
+	for {
+		next := fs.engine.Now()
+		if t := fs.uplink.FreeAt(); t > next {
+			next = t
+		}
+		for _, s := range fs.servers {
+			if t := s.n.Device.FreeAt(); t > next {
+				next = t
+			}
+			if t := s.ioCPU.FreeAt(); t > next {
+				next = t
+			}
+		}
+		if next <= fs.engine.Now() {
+			return
+		}
+		fs.engine.AdvanceTo(next)
+	}
+}
+
+// StopNoise silences every server's OS-noise ticker.
+func (fs *FileSystem) StopNoise() {
+	for _, s := range fs.servers {
+		s.n.StopNoise()
+	}
+}

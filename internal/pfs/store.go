@@ -1,0 +1,46 @@
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/units"
+)
+
+// Store adapts the parallel filesystem to core.CheckpointStore, so the
+// post-processing pipeline can be pointed at remote storage with
+// cfg.Store = pfs.NewStore(fs).
+type Store struct {
+	fs *FileSystem
+}
+
+// NewStore wraps a filesystem.
+func NewStore(fs *FileSystem) *Store { return &Store{fs: fs} }
+
+var _ core.CheckpointStore = (*Store)(nil)
+
+// WriteCheckpoint stripes one checkpoint across the servers: the real
+// header+field prefix plus the sparse history payload.
+func (s *Store) WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes) {
+	prefix := checkpoint.EncodePrefix(g, step, simTime, payload)
+	total := units.Bytes(len(prefix)) + payload
+	s.fs.WriteFile(name, prefix, total)
+}
+
+// ReadCheckpoint fetches one back and validates its CRC.
+func (s *Store) ReadCheckpoint(name string) (*field.Grid, uint64, float64, error) {
+	prefix, err := s.fs.ReadFile(name)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	h, g, err := checkpoint.DecodePrefix(prefix)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("pfs: %s: %w", name, err)
+	}
+	return g, h.Step, h.SimTime, nil
+}
+
+// Barrier waits out all server-side activity between phases.
+func (s *Store) Barrier() { s.fs.Barrier() }

@@ -1,0 +1,156 @@
+// Package power is the power-accounting bus of the simulated node.
+//
+// Every physical subsystem (CPU package, DRAM, disk, rest-of-system)
+// owns a Domain. A domain's power level is piecewise constant over
+// virtual time: models call SetLevel whenever activity changes, and the
+// domain integrates energy exactly between changes. Samplers (the RAPL
+// emulation, the Wattsup meter) read instantaneous power and cumulative
+// energy without disturbing the integration.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Domain tracks one subsystem's power level over virtual time and its
+// exactly-integrated cumulative energy.
+type Domain struct {
+	name    string
+	engine  *sim.Engine
+	level   units.Watts
+	since   sim.Time     // when the current level was set
+	energy  units.Joules // integrated up to 'since'
+	peak    units.Watts
+	started sim.Time
+}
+
+// NewDomain creates a domain with an initial power level (typically the
+// subsystem's static/idle power).
+func NewDomain(engine *sim.Engine, name string, initial units.Watts) *Domain {
+	if initial < 0 {
+		panic(fmt.Sprintf("power: domain %q initial level %v is negative", name, initial))
+	}
+	return &Domain{
+		name:    name,
+		engine:  engine,
+		level:   initial,
+		since:   engine.Now(),
+		peak:    initial,
+		started: engine.Now(),
+	}
+}
+
+// Name returns the domain name ("package", "dram", "disk", "rest").
+func (d *Domain) Name() string { return d.name }
+
+// settle folds the energy of the interval [since, now] into the
+// accumulator and moves since forward.
+func (d *Domain) settle() {
+	now := d.engine.Now()
+	if now > d.since {
+		d.energy += units.Energy(d.level, now-d.since)
+		d.since = now
+	}
+}
+
+// SetLevel changes the domain's power level as of the current virtual
+// time. Negative levels panic: power draw is never negative.
+func (d *Domain) SetLevel(w units.Watts) {
+	if w < 0 {
+		panic(fmt.Sprintf("power: domain %q level %v is negative", d.name, w))
+	}
+	d.settle()
+	d.level = w
+	if w > d.peak {
+		d.peak = w
+	}
+}
+
+// Add changes the level by a delta; convenient for models that stack
+// independent contributions.
+func (d *Domain) Add(delta units.Watts) { d.SetLevel(d.level + delta) }
+
+// Level returns the instantaneous power draw.
+func (d *Domain) Level() units.Watts { return d.level }
+
+// Energy returns cumulative energy consumed from domain creation up to
+// the current virtual time.
+func (d *Domain) Energy() units.Joules {
+	d.settle()
+	return d.energy
+}
+
+// Peak returns the highest level ever set.
+func (d *Domain) Peak() units.Watts { return d.peak }
+
+// AveragePower returns the mean power since domain creation.
+func (d *Domain) AveragePower() units.Watts {
+	return units.AveragePower(d.Energy(), d.engine.Now()-d.started)
+}
+
+// Bus aggregates domains into the full system. The wall meter reads the
+// bus; RAPL reads individual domains.
+type Bus struct {
+	engine  *sim.Engine
+	domains []*Domain
+	// psuLoss converts DC load to wall power: wall = dc * (1 + psuLoss).
+	// The paper's "rest of system" row already absorbs PSU inefficiency,
+	// so profiles normally leave this at zero, but it is modeled so the
+	// attribution experiments can separate it.
+	psuLoss float64
+}
+
+// NewBus creates an empty bus. psuLoss is the fractional PSU conversion
+// loss applied on top of the summed domain power (0 for none).
+func NewBus(engine *sim.Engine, psuLoss float64) *Bus {
+	if psuLoss < 0 {
+		panic("power: negative PSU loss")
+	}
+	return &Bus{engine: engine, psuLoss: psuLoss}
+}
+
+// Attach registers a domain on the bus and returns it, for chaining.
+func (b *Bus) Attach(d *Domain) *Domain {
+	b.domains = append(b.domains, d)
+	return d
+}
+
+// NewDomain creates a domain and attaches it in one step.
+func (b *Bus) NewDomain(name string, initial units.Watts) *Domain {
+	return b.Attach(NewDomain(b.engine, name, initial))
+}
+
+// Domain returns the attached domain with the given name, or nil.
+func (b *Bus) Domain(name string) *Domain {
+	for _, d := range b.domains {
+		if d.name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Domains returns the attached domains in attachment order.
+func (b *Bus) Domains() []*Domain { return b.domains }
+
+// SystemPower returns the instantaneous wall power: the sum of all
+// domain levels scaled by PSU loss.
+func (b *Bus) SystemPower() units.Watts {
+	var sum units.Watts
+	for _, d := range b.domains {
+		sum += d.level
+	}
+	return units.Watts(float64(sum) * (1 + b.psuLoss))
+}
+
+// SystemEnergy returns cumulative wall energy across all domains.
+func (b *Bus) SystemEnergy() units.Joules {
+	var sum units.Joules
+	for _, d := range b.domains {
+		sum += d.Energy()
+	}
+	return units.Joules(float64(sum) * (1 + b.psuLoss))
+}

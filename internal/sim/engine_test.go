@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestAdvanceFiresEventsInOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(3, func() { order = append(order, 3) })
+	e.After(1, func() { order = append(order, 1) })
+	e.After(2, func() { order = append(order, 2) })
+	e.Advance(5)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events fired in order %v, want [1 2 3]", order)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now() = %v, want 5", e.Now())
+	}
+}
+
+func TestEqualTimeEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(1, func() { order = append(order, i) })
+	}
+	e.Advance(1)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of submission order: %v", order)
+		}
+	}
+}
+
+func TestEventsBeyondAdvanceDoNotFire(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(10, func() { fired = true })
+	e.Advance(9.999)
+	if fired {
+		t.Error("event at t=10 fired during Advance(9.999)")
+	}
+	e.Advance(0.001)
+	if !fired {
+		t.Error("event at t=10 did not fire by t=10")
+	}
+}
+
+func TestEventAtExactBoundaryFires(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(5, func() { fired = true })
+	e.Advance(5)
+	if !fired {
+		t.Error("event exactly at the advance boundary did not fire")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(1, func() { fired = true })
+	ev.Cancel()
+	e.Advance(2)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	ev.Cancel() // cancelling again must be a no-op
+}
+
+func TestClockIsSetDuringCallback(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.After(2.5, func() { at = e.Now() })
+	e.Advance(10)
+	if at != 2.5 {
+		t.Errorf("Now() inside callback = %v, want 2.5", at)
+	}
+}
+
+func TestCallbackMaySchedule(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	var chain func()
+	chain = func() {
+		times = append(times, e.Now())
+		if len(times) < 4 {
+			e.After(1, chain)
+		}
+	}
+	e.After(1, chain)
+	e.Advance(10)
+	want := []Time{1, 2, 3, 4}
+	if len(times) != len(want) {
+		t.Fatalf("chain fired %d times, want %d", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("chain[%d] at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestAdvanceInsideCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	panicked := false
+	e.After(1, func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		e.Advance(1)
+	})
+	e.Advance(2)
+	if !panicked {
+		t.Error("Advance inside a callback did not panic")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1) did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Advance(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("At(5) with now=10 did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestAdvanceToBackwardsIsNoop(t *testing.T) {
+	e := NewEngine()
+	e.Advance(10)
+	e.AdvanceTo(5)
+	if e.Now() != 10 {
+		t.Errorf("AdvanceTo backwards moved the clock to %v", e.Now())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.After(1, func() { count++ })
+	e.After(100, func() { count++ })
+	e.Drain()
+	if count != 2 {
+		t.Errorf("Drain fired %d events, want 2", count)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now() after Drain = %v, want 100", e.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.After(units.Seconds(i+1), func() {})
+	}
+	ev := e.After(3.5, func() {})
+	ev.Cancel()
+	e.Advance(10)
+	if e.Fired() != 5 {
+		t.Errorf("Fired() = %d, want 5 (cancelled events don't count)", e.Fired())
+	}
+}
+
+// Property: events always fire in non-decreasing timestamp order no
+// matter the submission order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fireTimes []Time
+		for _, d := range delays {
+			e.After(units.Seconds(d)/100, func() {
+				fireTimes = append(fireTimes, e.Now())
+			})
+		}
+		e.Advance(1000)
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(fireTimes) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTickerBasic(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	tk := NewTicker(e, 1, func(now Time) { times = append(times, now) })
+	tk.Start()
+	e.Advance(5)
+	tk.Stop()
+	e.Advance(5)
+	if len(times) != 5 {
+		t.Fatalf("ticker fired %d times, want 5 (ticks at 1..5): %v", len(times), times)
+	}
+	for i, at := range times {
+		if at != Time(i+1) {
+			t.Errorf("tick %d at %v, want %d", i, at, i+1)
+		}
+	}
+	if tk.Ticks() != 5 {
+		t.Errorf("Ticks() = %d, want 5", tk.Ticks())
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	var tk *Ticker
+	count := 0
+	tk = NewTicker(e, 1, func(now Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	e.Advance(10)
+	if count != 3 {
+		t.Errorf("ticker fired %d times after self-stop at 3", count)
+	}
+}
+
+func TestTickerDoubleStart(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tk := NewTicker(e, 1, func(Time) { count++ })
+	tk.Start()
+	tk.Start()
+	e.Advance(3)
+	if count != 3 {
+		t.Errorf("double-started ticker fired %d times in 3s, want 3", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTicker with period 0 did not panic")
+		}
+	}()
+	NewTicker(NewEngine(), 0, func(Time) {})
+}
+
+func TestResourceFCFS(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	s1, e1 := r.Submit(10, nil)
+	s2, e2 := r.Submit(5, nil)
+	if s1 != 0 || e1 != 10 {
+		t.Errorf("job1 start/end = %v/%v, want 0/10", s1, e1)
+	}
+	if s2 != 10 || e2 != 15 {
+		t.Errorf("job2 queued start/end = %v/%v, want 10/15", s2, e2)
+	}
+	if r.BusyTime() != 15 {
+		t.Errorf("BusyTime = %v, want 15", r.BusyTime())
+	}
+	if r.Jobs() != 2 {
+		t.Errorf("Jobs = %d, want 2", r.Jobs())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	r.Submit(2, nil)
+	e.Advance(10)
+	if !r.Idle() {
+		t.Error("resource not idle after its work completed")
+	}
+	s, end := r.Submit(3, nil)
+	if s != 10 || end != 13 {
+		t.Errorf("post-gap job start/end = %v/%v, want 10/13", s, end)
+	}
+}
+
+func TestResourceDoneCallback(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var doneAt Time = -1
+	r.Submit(4, func() { doneAt = e.Now() })
+	e.Advance(10)
+	if doneAt != 4 {
+		t.Errorf("done callback at %v, want 4", doneAt)
+	}
+}
+
+func TestResourceNegativeServicePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit(-1) did not panic")
+		}
+	}()
+	r.Submit(-1, nil)
+}
+
+// Property: with FCFS, total completion time equals the sum of service
+// times when jobs are submitted back-to-back at t=0.
+func TestResourceMakespanProperty(t *testing.T) {
+	f := func(services []uint16) bool {
+		e := NewEngine()
+		r := NewResource(e)
+		var total units.Seconds
+		var lastEnd Time
+		for _, s := range services {
+			d := units.Seconds(s) / 1000
+			total += d
+			_, lastEnd = r.Submit(d, nil)
+		}
+		return lastEnd == total || len(services) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.Advance(1)
+	}
+}

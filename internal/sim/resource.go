@@ -1,0 +1,56 @@
+package sim
+
+import "repro/internal/units"
+
+// Resource is a single FCFS server: jobs submitted while the server is
+// busy queue behind it. The disk uses one to serialize media access
+// between foreground reads and background write-back.
+type Resource struct {
+	engine *Engine
+	// freeAt is the virtual time the server next becomes idle.
+	freeAt Time
+	// busy accumulates total busy time, for utilization accounting.
+	busy units.Seconds
+	jobs uint64
+}
+
+// NewResource returns an idle FCFS server on engine.
+func NewResource(engine *Engine) *Resource {
+	return &Resource{engine: engine}
+}
+
+// Submit enqueues a job of the given service duration and returns the
+// virtual times at which the job starts and completes. If done is not
+// nil it is scheduled as an event at the completion time.
+//
+// Submit does not advance the clock; foreground callers that must wait
+// for completion pass the returned end time to Engine.AdvanceTo.
+func (r *Resource) Submit(service units.Seconds, done func()) (start, end Time) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	start = r.engine.Now()
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + service
+	r.freeAt = end
+	r.busy += service
+	r.jobs++
+	if done != nil {
+		r.engine.At(end, done)
+	}
+	return start, end
+}
+
+// FreeAt returns the time the server next becomes idle (<= now when idle).
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Idle reports whether the server has no queued or running work.
+func (r *Resource) Idle() bool { return r.freeAt <= r.engine.Now() }
+
+// BusyTime returns the cumulative service time performed.
+func (r *Resource) BusyTime() units.Seconds { return r.busy }
+
+// Jobs returns the number of jobs submitted.
+func (r *Resource) Jobs() uint64 { return r.jobs }

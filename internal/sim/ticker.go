@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Ticker invokes a callback at a fixed virtual-time period, like the
+// 1 Hz samplers of the Wattsup meter and the RAPL monitor. The first
+// tick fires one period after Start.
+type Ticker struct {
+	engine  *Engine
+	period  units.Seconds
+	fn      func(now Time)
+	event   *Event
+	running bool
+	ticks   uint64
+}
+
+// NewTicker creates a stopped ticker on engine with the given period.
+// It panics if period is not positive.
+func NewTicker(engine *Engine, period units.Seconds, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
+	}
+	return &Ticker{engine: engine, period: period, fn: fn}
+}
+
+// Start begins ticking. Starting a running ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.running {
+		return
+	}
+	t.running = true
+	t.schedule()
+}
+
+// Stop halts the ticker; the pending tick is cancelled.
+func (t *Ticker) Stop() {
+	if !t.running {
+		return
+	}
+	t.running = false
+	if t.event != nil {
+		t.event.Cancel()
+		t.event = nil
+	}
+}
+
+// Ticks reports how many times the callback has fired.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Running reports whether the ticker is active.
+func (t *Ticker) Running() bool { return t.running }
+
+func (t *Ticker) schedule() {
+	t.event = t.engine.After(t.period, func() {
+		if !t.running {
+			return
+		}
+		t.ticks++
+		t.fn(t.engine.Now())
+		t.schedule()
+	})
+}

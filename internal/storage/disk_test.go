@@ -1,0 +1,325 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// testDisk returns a deterministic-rotation disk for exact assertions.
+func testDisk(t *testing.T) (*sim.Engine, *Disk, *power.Domain) {
+	t.Helper()
+	e := sim.NewEngine()
+	d := power.NewDomain(e, "disk", 0)
+	p := SeagateHDD()
+	p.DeterministicRotation = true
+	return e, NewDisk(e, p, d, xrand.New(1)), d
+}
+
+func TestRevolutionTime(t *testing.T) {
+	_, d, _ := testDisk(t)
+	want := 60.0 / 7200
+	if got := float64(d.RevolutionTime()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RevolutionTime = %v, want %v", got, want)
+	}
+}
+
+func TestSequentialReadIsBandwidthBound(t *testing.T) {
+	e, d, _ := testDisk(t)
+	// First request seeks; follow-ups at the head position stream.
+	end := d.Submit(OpRead, 0, units.MiB, nil)
+	e.AdvanceTo(end)
+	start := e.Now()
+	const chunks = 8
+	for i := 0; i < chunks; i++ {
+		end = d.Submit(OpRead, units.MiB+units.Bytes(i)*units.MiB, units.MiB, nil)
+	}
+	e.AdvanceTo(end)
+	got := float64(e.Now() - start)
+	want := float64(chunks) * float64(units.MiB) / d.Params().SeqReadBW
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("sequential stream took %v, want %v (pure transfer)", got, want)
+	}
+}
+
+func TestRandomReadPaysSeekAndRotation(t *testing.T) {
+	e, d, _ := testDisk(t)
+	end := d.Submit(OpRead, 0, 16*units.KiB, nil)
+	e.AdvanceTo(end)
+	start := e.Now()
+	end = d.Submit(OpRead, 100*units.GiB, 16*units.KiB, nil)
+	e.AdvanceTo(end)
+	elapsed := float64(e.Now() - start)
+	xfer := float64(16*units.KiB) / d.Params().SeqReadBW
+	rot := float64(d.RevolutionTime()) / 2
+	if elapsed <= xfer+rot {
+		t.Errorf("random read took %v, expected seek + rotation on top of %v", elapsed, xfer+rot)
+	}
+	minSeek := float64(d.Params().MinSeek)
+	if elapsed < xfer+rot+minSeek {
+		t.Errorf("random read took %v, below minimum positioning cost", elapsed)
+	}
+}
+
+func TestSmallForwardGapChargedAtMediaRate(t *testing.T) {
+	e, d, _ := testDisk(t)
+	end := d.Submit(OpWrite, 0, 16*units.KiB, nil)
+	e.AdvanceTo(end)
+	start := e.Now()
+	// 64 KiB hole, within the 256 KiB sequential window.
+	end = d.Submit(OpWrite, 16*units.KiB+64*units.KiB, 16*units.KiB, nil)
+	e.AdvanceTo(end)
+	got := float64(e.Now() - start)
+	want := float64(64*units.KiB+16*units.KiB) / d.Params().SeqWriteBW
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("hole-y write took %v, want %v (gap at media rate)", got, want)
+	}
+	if d.Stats().Seeks != 1 { // only the initial positioning
+		t.Errorf("Seeks = %d, want 1 (gap pass-over is not a seek)", d.Stats().Seeks)
+	}
+}
+
+func TestBackwardGapSeeks(t *testing.T) {
+	_, d, _ := testDisk(t)
+	d.Submit(OpRead, units.MiB, 16*units.KiB, nil)
+	pos, _ := d.ServiceTime(OpRead, units.MiB-32*units.KiB, 16*units.KiB)
+	if pos <= 0 {
+		t.Error("backward gap did not pay positioning")
+	}
+}
+
+func TestSeekTimeMonotonicInDistance(t *testing.T) {
+	_, d, _ := testDisk(t)
+	prev := units.Seconds(0)
+	for _, dist := range []units.Bytes{units.MiB, units.GiB, 10 * units.GiB, 100 * units.GiB} {
+		s := d.seekTime(dist)
+		if s <= prev {
+			t.Errorf("seekTime(%v) = %v not greater than %v", dist, s, prev)
+		}
+		prev = s
+	}
+	if d.seekTime(0) != 0 {
+		t.Error("seekTime(0) != 0")
+	}
+}
+
+func TestAverageRandomSeekNearCalibration(t *testing.T) {
+	e := sim.NewEngine()
+	p := SeagateHDD()
+	p.DeterministicRotation = true
+	d := NewDisk(e, p, nil, xrand.New(2))
+	rng := xrand.New(3)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		a := units.Bytes(rng.Int64n(int64(p.Capacity)))
+		b := units.Bytes(rng.Int64n(int64(p.Capacity)))
+		dist := a - b
+		if dist < 0 {
+			dist = -dist
+		}
+		sum += float64(d.seekTime(dist))
+	}
+	avg := sum / n
+	// Calibrated to ~7.2 ms average random seek (3.5 ms settle+min plus
+	// the sqrt curve), a typical 7200 rpm desktop figure.
+	if avg < 6.4e-3 || avg > 8.0e-3 {
+		t.Errorf("average random seek = %.2f ms, want ~7.2 ms", avg*1000)
+	}
+}
+
+func TestDiskPowerTransitions(t *testing.T) {
+	e, d, dom := testDisk(t)
+	idle := d.Params().IdlePower
+	if dom.Level() != idle {
+		t.Fatalf("initial disk power = %v, want %v", dom.Level(), idle)
+	}
+	end := d.Submit(OpRead, 10*units.GiB, 10*units.MiB, nil)
+	// Mid-positioning: seek power.
+	e.Advance(1 * units.Millisecond)
+	if got := dom.Level(); got != idle+d.Params().SeekDyn {
+		t.Errorf("power during seek = %v, want %v", got, idle+d.Params().SeekDyn)
+	}
+	// Mid-transfer: read transfer power.
+	e.AdvanceTo(end - 0.001)
+	if got := dom.Level(); got != idle+d.Params().ReadXferDyn {
+		t.Errorf("power during transfer = %v, want %v", got, idle+d.Params().ReadXferDyn)
+	}
+	e.AdvanceTo(end + 0.001)
+	if got := dom.Level(); got != idle {
+		t.Errorf("power after completion = %v, want idle %v", got, idle)
+	}
+}
+
+func TestDiskPowerStaysBusyAcrossQueuedRequests(t *testing.T) {
+	e, d, dom := testDisk(t)
+	d.Submit(OpWrite, 0, 50*units.MiB, nil)
+	end2 := d.Submit(OpWrite, 50*units.MiB, 50*units.MiB, nil)
+	// Between the two queued transfers the disk must not dip to idle.
+	mid := end2 - units.Seconds(float64(25*units.MiB)/d.Params().SeqWriteBW)
+	e.AdvanceTo(mid)
+	if got := dom.Level(); got != d.Params().IdlePower+d.Params().WriteXferDyn {
+		t.Errorf("power between queued requests = %v, want busy write level", got)
+	}
+	e.AdvanceTo(end2)
+	if got := dom.Level(); got != d.Params().IdlePower {
+		t.Errorf("power after queue drains = %v, want idle", got)
+	}
+}
+
+func TestDiskEnergyIntegral(t *testing.T) {
+	e, d, dom := testDisk(t)
+	end := d.Submit(OpRead, 0, 120*units.MiB, nil)
+	e.AdvanceTo(end)
+	// One seek+rot then pure transfer at 120 MB/s for ~1.05 s.
+	pos, xfer := units.Seconds(0), units.Seconds(float64(120*units.MiB)/d.Params().SeqReadBW)
+	pos = d.Params().MinSeek + d.RevolutionTime()/2 // offset 0: distance 0 from head 0 -> actually sequential
+	_ = pos
+	gotE := float64(dom.Energy())
+	// The first request from head 0 to offset 0 is sequential: no seek.
+	wantE := float64(d.Params().IdlePower+d.Params().ReadXferDyn) * float64(xfer)
+	if math.Abs(gotE-wantE) > 1e-6 {
+		t.Errorf("disk energy = %v, want %v", gotE, wantE)
+	}
+}
+
+func TestDiskStats(t *testing.T) {
+	e, d, _ := testDisk(t)
+	end := d.Submit(OpRead, 0, units.MiB, nil)
+	end = d.Submit(OpWrite, 10*units.GiB, 2*units.MiB, nil)
+	e.AdvanceTo(end)
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Errorf("Reads/Writes = %d/%d, want 1/1", st.Reads, st.Writes)
+	}
+	if st.BytesRead != units.MiB || st.BytesWritten != 2*units.MiB {
+		t.Errorf("bytes = %d/%d", st.BytesRead, st.BytesWritten)
+	}
+	if st.Seeks != 1 {
+		t.Errorf("Seeks = %d, want 1 (write jumped)", st.Seeks)
+	}
+}
+
+func TestDiskRequestOutOfBoundsPanics(t *testing.T) {
+	_, d, _ := testDisk(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-capacity request did not panic")
+		}
+	}()
+	d.Submit(OpRead, d.Params().Capacity-units.KiB, units.MiB, nil)
+}
+
+func TestDiskUtilization(t *testing.T) {
+	e, d, _ := testDisk(t)
+	end := d.Submit(OpRead, 0, 120*units.MiB, nil) // ~1.05 s busy
+	e.AdvanceTo(end * 2)                           // equal idle tail
+	u := d.Utilization()
+	if math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("Utilization = %v, want 0.5", u)
+	}
+}
+
+func TestSampledRotationBounds(t *testing.T) {
+	e := sim.NewEngine()
+	p := SeagateHDD()
+	d := NewDisk(e, p, nil, xrand.New(9))
+	rev := float64(d.RevolutionTime())
+	for i := 0; i < 1000; i++ {
+		r := float64(d.rotationalLatency())
+		if r < 0 || r >= rev {
+			t.Fatalf("rotational latency %v outside [0, %v)", r, rev)
+		}
+	}
+}
+
+func TestFullStrokeSeekNearMaxSeek(t *testing.T) {
+	_, d, _ := testDisk(t)
+	got := float64(d.seekTime(d.Params().Capacity))
+	p := d.Params()
+	want := float64(p.SettleTime + p.MaxSeek)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("full-stroke seek = %v, want %v (settle + max stroke)", got, want)
+	}
+}
+
+func TestDiskSpindown(t *testing.T) {
+	e := sim.NewEngine()
+	p := SeagateHDD()
+	p.DeterministicRotation = true
+	p.StandbyAfter = 5
+	p.StandbyPower = 0.8
+	p.SpinupTime = 6
+	dom := power.NewDomain(e, "disk", 0)
+	d := NewDisk(e, p, dom, xrand.New(1))
+
+	end := d.Submit(OpRead, 0, units.MiB, nil)
+	e.AdvanceTo(end + 4) // not yet idle long enough
+	if d.Standby() {
+		t.Fatal("spun down before StandbyAfter elapsed")
+	}
+	e.Advance(2) // now past the threshold
+	if !d.Standby() {
+		t.Fatal("did not spin down after idle threshold")
+	}
+	if dom.Level() != 0.8 {
+		t.Errorf("standby power = %v, want 0.8", dom.Level())
+	}
+
+	// The next request pays the spinup.
+	start := e.Now()
+	end = d.Submit(OpRead, units.MiB, units.MiB, nil)
+	e.AdvanceTo(end)
+	if elapsed := float64(e.Now() - start); elapsed < 6 {
+		t.Errorf("post-standby request took %v, want >= 6 s spinup", elapsed)
+	}
+	if d.Standby() {
+		t.Error("still standby after serving a request")
+	}
+	if d.Stats().Spinups != 1 {
+		t.Errorf("Spinups = %d, want 1", d.Stats().Spinups)
+	}
+	if dom.Level() != p.IdlePower {
+		t.Errorf("power after request = %v, want idle", dom.Level())
+	}
+}
+
+func TestDiskSpindownCancelledByNewWork(t *testing.T) {
+	e := sim.NewEngine()
+	p := SeagateHDD()
+	p.DeterministicRotation = true
+	p.StandbyAfter = 5
+	p.SpinupTime = 6
+	d := NewDisk(e, p, nil, xrand.New(1))
+	end := d.Submit(OpRead, 0, units.MiB, nil)
+	e.AdvanceTo(end + 3)
+	d.Submit(OpRead, units.MiB, units.MiB, nil) // resets the idle window
+	e.Advance(4)                                // old threshold passes mid-activity
+	if d.Standby() {
+		t.Error("spun down despite intervening work")
+	}
+}
+
+func TestRandom16KiBInsideFileNearPaperLatency(t *testing.T) {
+	// Table III: 4 GiB of 16 KiB random reads in 2230 s => ~8.5 ms/op.
+	e, d, _ := testDisk(t)
+	rng := xrand.New(11)
+	const ops = 2000
+	base := 10 * units.GiB
+	span := int64(4 * units.GiB / (16 * units.KiB))
+	start := e.Now()
+	var end sim.Time
+	for i := 0; i < ops; i++ {
+		off := base + units.Bytes(rng.Int64n(span))*16*units.KiB
+		end = d.Submit(OpRead, off, 16*units.KiB, nil)
+	}
+	e.AdvanceTo(end)
+	perOp := float64(e.Now()-start) / ops * 1000
+	if perOp < 7.0 || perOp > 10.0 {
+		t.Errorf("random 16 KiB read = %.2f ms/op, want ~8.5 ms", perOp)
+	}
+}

@@ -1,0 +1,420 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// AllocPolicy controls where a file's extents land on the platter.
+type AllocPolicy int
+
+// Allocation policies.
+const (
+	// AllocContiguous packs extents back-to-back (a fresh filesystem,
+	// or one that has been reorganized by the §V-D technique).
+	AllocContiguous AllocPolicy = iota
+	// AllocScattered places each extent at a random free location — an
+	// aged, fragmented filesystem, the "random I/O" regime of Table III.
+	AllocScattered
+)
+
+func (p AllocPolicy) String() string {
+	if p == AllocContiguous {
+		return "contiguous"
+	}
+	return "scattered"
+}
+
+// FSParams configures the filesystem model.
+type FSParams struct {
+	// ExtentSize is the allocation granularity.
+	ExtentSize units.Bytes
+	// JournalStart / JournalSize locate the metadata journal region.
+	// Each fsync of freshly-allocated extents commits one journal
+	// record per extent, seeking between the data and journal regions
+	// exactly like ext3/4 in ordered mode under chunked checkpointing.
+	JournalStart, JournalSize units.Bytes
+	// JournalRecord is the size of one journal commit record.
+	JournalRecord units.Bytes
+	// DataStart is where file extents begin.
+	DataStart units.Bytes
+}
+
+// DefaultFS returns filesystem parameters for the 500 GB drive:
+// 4 MiB extents, journal at 1 GiB, data from 2 GiB.
+func DefaultFS() FSParams {
+	return FSParams{
+		ExtentSize:    4 * units.MiB,
+		JournalStart:  1 * units.GiB,
+		JournalSize:   128 * units.MiB,
+		JournalRecord: 4 * units.KiB,
+		DataStart:     2 * units.GiB,
+	}
+}
+
+// FileSystem is an extent-based filesystem on one disk + page cache.
+type FileSystem struct {
+	params FSParams
+	engine *sim.Engine
+	disk   Device
+	cache  *PageCache
+	rng    *xrand.Rand
+
+	files      map[string]*File
+	allocated  RangeSet
+	nextFree   units.Bytes
+	journalPos units.Bytes
+	fileSeq    uint64
+}
+
+// NewFileSystem creates an empty filesystem.
+func NewFileSystem(engine *sim.Engine, disk Device, cache *PageCache, params FSParams, rng *xrand.Rand) *FileSystem {
+	if params.ExtentSize <= 0 {
+		panic("storage: filesystem needs a positive extent size")
+	}
+	if rng == nil {
+		panic("storage: filesystem needs an rng for scattered allocation")
+	}
+	fs := &FileSystem{
+		params:     params,
+		engine:     engine,
+		disk:       disk,
+		cache:      cache,
+		rng:        rng,
+		files:      make(map[string]*File),
+		nextFree:   params.DataStart,
+		journalPos: params.JournalStart,
+	}
+	fs.allocated.Add(Range{0, params.DataStart}) // reserve metadata+journal
+	return fs
+}
+
+// Cache returns the page cache backing the filesystem.
+func (fs *FileSystem) Cache() *PageCache { return fs.cache }
+
+// Device returns the block store backing the filesystem.
+func (fs *FileSystem) Device() Device { return fs.disk }
+
+// File is a named sequence of extents. Files hold real bytes for the
+// logical ranges written with data (WriteAt); ranges written sparsely
+// read back as a deterministic per-file pattern.
+type File struct {
+	fs     *FileSystem
+	name   string
+	seed   uint64
+	policy AllocPolicy
+
+	extents []Range     // logical order; all ExtentSize except maybe last
+	size    units.Bytes // logical length
+
+	retained []segment // sorted by Off, non-overlapping
+
+	unjournaled int // extents allocated since the last fsync
+}
+
+type segment struct {
+	Off  units.Bytes
+	Data []byte
+}
+
+// Create makes an empty file with the given allocation policy. It
+// panics if the name exists.
+func (fs *FileSystem) Create(name string, policy AllocPolicy) *File {
+	if _, ok := fs.files[name]; ok {
+		panic(fmt.Sprintf("storage: file %q already exists", name))
+	}
+	fs.fileSeq++
+	f := &File{fs: fs, name: name, seed: fs.fileSeq, policy: policy}
+	fs.files[name] = f
+	return f
+}
+
+// Open returns the named file, or nil.
+func (fs *FileSystem) Open(name string) *File { return fs.files[name] }
+
+// Delete removes a file, frees its extents, and invalidates its cached
+// pages (dirty data is discarded).
+func (fs *FileSystem) Delete(name string) {
+	f, ok := fs.files[name]
+	if !ok {
+		return
+	}
+	for _, e := range f.extents {
+		fs.allocated.Remove(e)
+		fs.cache.Invalidate(e)
+	}
+	delete(fs.files, name)
+	f.extents = nil
+	f.size = 0
+}
+
+// Sync flushes all dirty data on the node (sync(2)).
+func (fs *FileSystem) Sync() { fs.cache.Sync() }
+
+// DropCaches evicts clean pages (used between pipeline phases).
+func (fs *FileSystem) DropCaches() { fs.cache.DropCaches() }
+
+// allocExtent claims one extent according to policy.
+func (fs *FileSystem) allocExtent(policy AllocPolicy) Range {
+	size := fs.params.ExtentSize
+	switch policy {
+	case AllocContiguous:
+		r := Range{fs.nextFree, fs.nextFree + size}
+		fs.nextFree += size
+		fs.allocated.Add(r)
+		return r
+	case AllocScattered:
+		span := fs.disk.Capacity() - fs.params.DataStart - size
+		for tries := 0; tries < 64; tries++ {
+			off := fs.params.DataStart + units.Bytes(fs.rng.Int64n(int64(span/size)))*size
+			r := Range{off, off + size}
+			if len(fs.allocated.Intersect(r)) == 0 {
+				fs.allocated.Add(r)
+				return r
+			}
+		}
+		// Disk effectively full of scatter targets; fall back.
+		return fs.allocExtent(AllocContiguous)
+	default:
+		panic(fmt.Sprintf("storage: unknown allocation policy %d", policy))
+	}
+}
+
+// ensureAllocated grows the file's extent list to cover logical offset
+// end, counting new extents for journaling.
+func (f *File) ensureAllocated(end units.Bytes) {
+	for units.Bytes(len(f.extents))*f.fs.params.ExtentSize < end {
+		f.extents = append(f.extents, f.fs.allocExtent(f.policy))
+		f.unjournaled++
+	}
+}
+
+// diskRanges maps the logical range [off, off+n) to media ranges in
+// logical order.
+func (f *File) diskRanges(off, n units.Bytes) []Range {
+	var out []Range
+	es := f.fs.params.ExtentSize
+	for n > 0 {
+		idx := int(off / es)
+		within := off % es
+		take := min64(n, es-within)
+		e := f.extents[idx]
+		out = append(out, Range{e.Start + within, e.Start + within + take})
+		off += take
+		n -= take
+	}
+	return out
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the logical length.
+func (f *File) Size() units.Bytes { return f.size }
+
+// Extents returns the file's media extents in logical order. The slice
+// is owned by the file.
+func (f *File) Extents() []Range { return f.extents }
+
+// FragmentRuns returns how many physically-contiguous runs the file
+// occupies: 1 means perfectly sequential on media.
+func (f *File) FragmentRuns() int {
+	if len(f.extents) == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < len(f.extents); i++ {
+		if f.extents[i].Start != f.extents[i-1].End {
+			runs++
+		}
+	}
+	return runs
+}
+
+// WriteAt writes real bytes at the logical offset, growing the file as
+// needed. Blocks for buffering time; media time is deferred to
+// write-back or Fsync.
+func (f *File) WriteAt(p []byte, off units.Bytes) {
+	n := units.Bytes(len(p))
+	if n == 0 {
+		return
+	}
+	f.writeCommon(off, n)
+	f.retain(off, p)
+}
+
+// WriteSparseAt is WriteAt without retaining content: the same
+// allocation, cache, and timing behaviour, but reads of the range
+// return a deterministic pattern. Used for bulk payloads (fio files,
+// checkpoint history) whose bytes never matter.
+func (f *File) WriteSparseAt(off, n units.Bytes) {
+	if n <= 0 {
+		return
+	}
+	f.writeCommon(off, n)
+	f.dropRetained(Range{off, off + n})
+}
+
+// Append writes real bytes at the end of the file.
+func (f *File) Append(p []byte) { f.WriteAt(p, f.size) }
+
+// AppendSparse extends the file by n pattern bytes.
+func (f *File) AppendSparse(n units.Bytes) { f.WriteSparseAt(f.size, n) }
+
+func (f *File) writeCommon(off, n units.Bytes) {
+	if off < 0 {
+		panic("storage: negative file offset")
+	}
+	f.ensureAllocated(off + n)
+	for _, r := range f.diskRanges(off, n) {
+		f.fs.cache.Write(r.Start, r.Len())
+	}
+	if off+n > f.size {
+		f.size = off + n
+	}
+}
+
+// ReadAt fills p from the logical offset, charging cache/media time.
+// Ranges never written with real data are filled with the file's
+// deterministic pattern. Reading past EOF panics: the workloads always
+// know their file sizes.
+func (f *File) ReadAt(p []byte, off units.Bytes) {
+	n := units.Bytes(len(p))
+	if n == 0 {
+		return
+	}
+	f.readTiming(off, n)
+	f.fill(p, off)
+}
+
+// ReadSparseAt charges the timing of a read without materializing data.
+func (f *File) ReadSparseAt(off, n units.Bytes) {
+	if n <= 0 {
+		return
+	}
+	f.readTiming(off, n)
+}
+
+func (f *File) readTiming(off, n units.Bytes) {
+	if off < 0 || off+n > f.size {
+		panic(fmt.Sprintf("storage: read [%d,+%d) past EOF %d of %q", off, n, f.size, f.name))
+	}
+	for _, r := range f.diskRanges(off, n) {
+		f.fs.cache.Read(r.Start, r.Len())
+	}
+}
+
+// Fsync commits the file: drains its dirty pages extent by extent,
+// committing one journal record per freshly-allocated extent in
+// between. The data↔journal alternation is what makes chunked
+// checkpoint writes seek-bound rather than bandwidth-bound.
+func (f *File) Fsync() {
+	newExtents := f.unjournaled
+	f.unjournaled = 0
+	for i, e := range f.extents {
+		f.fs.cache.SyncRanges([]Range{e})
+		if i >= len(f.extents)-newExtents {
+			f.fs.journalCommit()
+		}
+	}
+	// Cover dirty data beyond the per-extent sweep (none in practice,
+	// but keeps Fsync a true barrier).
+	f.fs.cache.SyncRanges(f.extents)
+}
+
+// journalCommit writes one record to the journal region and waits for
+// it (a write barrier).
+func (fs *FileSystem) journalCommit() {
+	if fs.journalPos+fs.params.JournalRecord > fs.params.JournalStart+fs.params.JournalSize {
+		fs.journalPos = fs.params.JournalStart // circular log
+	}
+	end := fs.disk.Submit(OpWrite, fs.journalPos, fs.params.JournalRecord, nil)
+	fs.journalPos += fs.params.JournalRecord
+	fs.engine.AdvanceTo(end)
+}
+
+// Reorganize rewrites the file into a single contiguous run — the
+// software-directed data reorganization of the paper's §V-D [30], [31].
+// It reads every extent, writes the data contiguously, frees the old
+// extents, and syncs. Timing flows through the normal cache/disk path.
+func (f *File) Reorganize() {
+	if len(f.extents) == 0 {
+		return
+	}
+	old := f.extents
+	// Read the whole file (through the cache, real media time).
+	for _, e := range old {
+		f.fs.cache.Read(e.Start, e.Len())
+	}
+	// Allocate a fresh contiguous region and write it back.
+	var fresh []Range
+	for range old {
+		fresh = append(fresh, f.fs.allocExtent(AllocContiguous))
+	}
+	f.extents = fresh
+	f.unjournaled = len(fresh)
+	for _, e := range fresh {
+		f.fs.cache.Write(e.Start, e.Len())
+	}
+	f.Fsync()
+	for _, e := range old {
+		f.fs.allocated.Remove(e)
+		f.fs.cache.Invalidate(e)
+	}
+}
+
+// retain stores real bytes for [off, off+len(p)).
+func (f *File) retain(off units.Bytes, p []byte) {
+	data := make([]byte, len(p))
+	copy(data, p)
+	f.dropRetained(Range{off, off + units.Bytes(len(p))})
+	f.retained = append(f.retained, segment{off, data})
+	sort.Slice(f.retained, func(i, j int) bool { return f.retained[i].Off < f.retained[j].Off })
+}
+
+// dropRetained removes retained coverage of r (trimming partial
+// overlaps).
+func (f *File) dropRetained(r Range) {
+	var out []segment
+	for _, s := range f.retained {
+		sr := Range{s.Off, s.Off + units.Bytes(len(s.Data))}
+		if !sr.Overlaps(r) {
+			out = append(out, s)
+			continue
+		}
+		if sr.Start < r.Start {
+			out = append(out, segment{sr.Start, s.Data[:r.Start-sr.Start]})
+		}
+		if sr.End > r.End {
+			out = append(out, segment{r.End, s.Data[r.End-sr.Start:]})
+		}
+	}
+	f.retained = out
+}
+
+// fill copies retained bytes into p, patterning unwritten gaps.
+func (f *File) fill(p []byte, off units.Bytes) {
+	end := off + units.Bytes(len(p))
+	for i := range p {
+		p[i] = patternByte(f.seed, off+units.Bytes(i))
+	}
+	for _, s := range f.retained {
+		sr := Range{s.Off, s.Off + units.Bytes(len(s.Data))}
+		seg := Range{max64(sr.Start, off), min64(sr.End, end)}
+		if seg.Empty() {
+			continue
+		}
+		copy(p[seg.Start-off:seg.End-off], s.Data[seg.Start-sr.Start:seg.End-sr.Start])
+	}
+}
+
+// patternByte is the deterministic content of sparse file ranges.
+func patternByte(seed uint64, off units.Bytes) byte {
+	x := seed*0x9E3779B97F4A7C15 + uint64(off)*0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	return byte(x)
+}

@@ -1,0 +1,228 @@
+// Package storage models the node's I/O stack from scratch: a 7200 rpm
+// hard disk with seek and rotational mechanics, a write-back page cache
+// with an elevator (LBA-sorting) write-back daemon, and an extent-based
+// filesystem with pluggable allocation policies. The paper's Table III
+// (fio), its read/write stage powers (Fig 6, Table II), and its §V-D
+// data-reorganization hypothetical all fall out of this stack.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Range is a half-open interval [Start, End) of disk byte offsets.
+type Range struct {
+	Start, End units.Bytes
+}
+
+// Len returns the range length.
+func (r Range) Len() units.Bytes { return r.End - r.Start }
+
+// Empty reports whether the range covers no bytes.
+func (r Range) Empty() bool { return r.End <= r.Start }
+
+// Overlaps reports whether r and s share any byte.
+func (r Range) Overlaps(s Range) bool { return r.Start < s.End && s.Start < r.End }
+
+// Contains reports whether r fully covers s.
+func (r Range) Contains(s Range) bool { return r.Start <= s.Start && s.End <= r.End }
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
+
+// RangeSet is a set of byte offsets stored as sorted, non-overlapping,
+// non-adjacent ranges. It backs the page cache's cached/dirty tracking.
+// The zero value is an empty, ready-to-use set.
+type RangeSet struct {
+	ranges []Range
+}
+
+// Len returns the number of maximal ranges in the set.
+func (s *RangeSet) Len() int { return len(s.ranges) }
+
+// Bytes returns the total number of bytes covered.
+func (s *RangeSet) Bytes() units.Bytes {
+	var n units.Bytes
+	for _, r := range s.ranges {
+		n += r.Len()
+	}
+	return n
+}
+
+// Ranges returns the maximal ranges in ascending order. The slice is
+// owned by the set; callers must not modify it.
+func (s *RangeSet) Ranges() []Range { return s.ranges }
+
+// Empty reports whether the set covers no bytes.
+func (s *RangeSet) Empty() bool { return len(s.ranges) == 0 }
+
+// Clear removes all ranges.
+func (s *RangeSet) Clear() { s.ranges = s.ranges[:0] }
+
+// Clone returns an independent copy of the set.
+func (s *RangeSet) Clone() *RangeSet {
+	c := &RangeSet{ranges: make([]Range, len(s.ranges))}
+	copy(c.ranges, s.ranges)
+	return c
+}
+
+// firstAtOrAfter returns the index of the first range whose End is
+// greater than off (the first range that could overlap or follow off).
+func (s *RangeSet) firstAtOrAfter(off units.Bytes) int {
+	return sort.Search(len(s.ranges), func(i int) bool {
+		return s.ranges[i].End > off
+	})
+}
+
+// Add inserts [r.Start, r.End), merging with overlapping or adjacent
+// ranges. Empty ranges are ignored.
+func (s *RangeSet) Add(r Range) {
+	if r.Empty() {
+		return
+	}
+	// Find the window of existing ranges that touch [Start-0, End+0]
+	// (adjacency merges too, hence <=).
+	i := sort.Search(len(s.ranges), func(i int) bool {
+		return s.ranges[i].End >= r.Start
+	})
+	j := i
+	for j < len(s.ranges) && s.ranges[j].Start <= r.End {
+		if s.ranges[j].Start < r.Start {
+			r.Start = s.ranges[j].Start
+		}
+		if s.ranges[j].End > r.End {
+			r.End = s.ranges[j].End
+		}
+		j++
+	}
+	if i == j {
+		s.ranges = append(s.ranges, Range{})
+		copy(s.ranges[i+1:], s.ranges[i:])
+		s.ranges[i] = r
+		return
+	}
+	s.ranges[i] = r
+	s.ranges = append(s.ranges[:i+1], s.ranges[j:]...)
+}
+
+// Remove deletes [r.Start, r.End) from the set, splitting ranges that
+// straddle the boundary.
+func (s *RangeSet) Remove(r Range) {
+	if r.Empty() {
+		return
+	}
+	i := s.firstAtOrAfter(r.Start)
+	// Snapshot the tail: appends to out may otherwise overwrite entries
+	// before they are read (out aliases the same backing array).
+	tail := append([]Range(nil), s.ranges[i:]...)
+	out := s.ranges[:i]
+	for _, cur := range tail {
+		if !cur.Overlaps(r) {
+			out = append(out, cur)
+			continue
+		}
+		if cur.Start < r.Start {
+			out = append(out, Range{cur.Start, r.Start})
+		}
+		if cur.End > r.End {
+			out = append(out, Range{r.End, cur.End})
+		}
+	}
+	s.ranges = out
+}
+
+// Contains reports whether every byte of r is in the set.
+func (s *RangeSet) Contains(r Range) bool {
+	if r.Empty() {
+		return true
+	}
+	i := s.firstAtOrAfter(r.Start)
+	return i < len(s.ranges) && s.ranges[i].Contains(r)
+}
+
+// Intersect returns the portions of r covered by the set, in order.
+func (s *RangeSet) Intersect(r Range) []Range {
+	var out []Range
+	if r.Empty() {
+		return out
+	}
+	for i := s.firstAtOrAfter(r.Start); i < len(s.ranges); i++ {
+		cur := s.ranges[i]
+		if cur.Start >= r.End {
+			break
+		}
+		seg := Range{max64(cur.Start, r.Start), min64(cur.End, r.End)}
+		if !seg.Empty() {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// Gaps returns the portions of r NOT covered by the set, in order.
+func (s *RangeSet) Gaps(r Range) []Range {
+	var out []Range
+	if r.Empty() {
+		return out
+	}
+	pos := r.Start
+	for _, seg := range s.Intersect(r) {
+		if seg.Start > pos {
+			out = append(out, Range{pos, seg.Start})
+		}
+		pos = seg.End
+	}
+	if pos < r.End {
+		out = append(out, Range{pos, r.End})
+	}
+	return out
+}
+
+// TakeFrom removes and returns up to budget bytes of ranges from the
+// set, scanning upward from offset 'from' and wrapping around — the
+// elevator sweep order used by the write-back daemon. The final range
+// may be split to honor the budget exactly.
+func (s *RangeSet) TakeFrom(from units.Bytes, budget units.Bytes) []Range {
+	if budget <= 0 || len(s.ranges) == 0 {
+		return nil
+	}
+	var taken []Range
+	start := s.firstAtOrAfter(from)
+	n := len(s.ranges)
+	for k := 0; k < n && budget > 0; k++ {
+		r := s.ranges[(start+k)%n]
+		if r.Len() > budget {
+			r = Range{r.Start, r.Start + budget}
+		}
+		taken = append(taken, r)
+		budget -= r.Len()
+	}
+	for _, r := range taken {
+		s.Remove(r)
+	}
+	// Keep the sweep order ascending-from-'from' even after wrap.
+	sort.Slice(taken, func(i, j int) bool {
+		ai, aj := taken[i].Start >= from, taken[j].Start >= from
+		if ai != aj {
+			return ai
+		}
+		return taken[i].Start < taken[j].Start
+	})
+	return taken
+}
+
+func max64(a, b units.Bytes) units.Bytes {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b units.Bytes) units.Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}

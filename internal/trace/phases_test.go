@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+// syntheticSeries builds a 1 Hz series from (duration, level) pairs
+// with Gaussian noise.
+func syntheticSeries(rng *xrand.Rand, sigma float64, levels ...[2]float64) *Series {
+	s := NewSeries("system", "W")
+	t := 0.0
+	for _, lv := range levels {
+		for i := 0; i < int(lv[0]); i++ {
+			noise := 0.0
+			if sigma > 0 {
+				noise = rng.NormFloat64() * sigma
+			}
+			s.Append(units.Seconds(t), lv[1]+noise)
+			t++
+		}
+	}
+	return s
+}
+
+func TestDetectTwoCleanPhases(t *testing.T) {
+	s := syntheticSeries(nil, 0, [2]float64{150, 143}, [2]float64{120, 121})
+	phases := DetectPhases(s, 5, 3, 10)
+	if len(phases) != 2 {
+		t.Fatalf("detected %d phases, want 2: %v", len(phases), phases)
+	}
+	if math.Abs(phases[0].Mean-143) > 0.5 || math.Abs(phases[1].Mean-121) > 0.5 {
+		t.Errorf("phase means = %.1f/%.1f, want 143/121", phases[0].Mean, phases[1].Mean)
+	}
+	if phases[0].Duration() < 140 || phases[1].Duration() < 110 {
+		t.Errorf("phase durations = %v/%v", phases[0].Duration(), phases[1].Duration())
+	}
+}
+
+func TestDetectSurvivesMeterNoise(t *testing.T) {
+	rng := xrand.New(5)
+	s := syntheticSeries(rng, 1.0, [2]float64{150, 143}, [2]float64{120, 121})
+	phases := DetectPhases(s, 6, 4, 15)
+	if len(phases) != 2 {
+		t.Fatalf("noisy detection found %d phases, want 2: %v", len(phases), phases)
+	}
+}
+
+func TestDetectIgnoresSpikes(t *testing.T) {
+	s := NewSeries("system", "W")
+	for i := 0; i < 100; i++ {
+		v := 120.0
+		if i == 50 {
+			v = 160 // one-sample OS spike
+		}
+		s.Append(units.Seconds(i), v)
+	}
+	phases := DetectPhases(s, 5, 3, 10)
+	if len(phases) != 1 {
+		t.Errorf("spike split the phase: %v", phases)
+	}
+}
+
+func TestDetectFlatSeriesIsOnePhase(t *testing.T) {
+	rng := xrand.New(9)
+	s := syntheticSeries(rng, 0.8, [2]float64{200, 134})
+	phases := DetectPhases(s, 6, 4, 15)
+	if len(phases) != 1 {
+		t.Fatalf("flat series produced %d phases: %v", len(phases), phases)
+	}
+	if math.Abs(phases[0].Mean-134) > 0.5 {
+		t.Errorf("flat mean = %v", phases[0].Mean)
+	}
+}
+
+func TestDetectThreePhases(t *testing.T) {
+	s := syntheticSeries(nil, 0,
+		[2]float64{60, 104}, [2]float64{80, 143}, [2]float64{70, 121})
+	phases := DetectPhases(s, 5, 3, 10)
+	if len(phases) != 3 {
+		t.Fatalf("detected %d phases, want 3: %v", len(phases), phases)
+	}
+}
+
+func TestDetectShortBlipMergedByMinDuration(t *testing.T) {
+	s := syntheticSeries(nil, 0,
+		[2]float64{100, 120}, [2]float64{6, 140}, [2]float64{100, 120})
+	phases := DetectPhases(s, 5, 3, 20)
+	if len(phases) != 1 {
+		t.Errorf("short excursion not merged: %v", phases)
+	}
+}
+
+func TestDetectEmptySeries(t *testing.T) {
+	if got := DetectPhases(NewSeries("x", "W"), 5, 3, 10); got != nil {
+		t.Errorf("empty series produced %v", got)
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero threshold did not panic")
+		}
+	}()
+	DetectPhases(NewSeries("x", "W"), 0, 3, 10)
+}

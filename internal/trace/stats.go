@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Percentile returns the p-th percentile (0..100) of the series values
+// using linear interpolation between order statistics. It returns NaN
+// for an empty series and panics on an out-of-range p.
+func (s *Series) Percentile(p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("trace: percentile %v outside [0,100]", p))
+	}
+	n := len(s.samples)
+	if n == 0 {
+		return math.NaN()
+	}
+	vals := make([]float64, n)
+	for i, sm := range s.samples {
+		vals[i] = sm.V
+	}
+	sort.Float64s(vals)
+	if n == 1 {
+		return vals[0]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(pos)
+	if lo == n-1 {
+		return vals[n-1]
+	}
+	frac := pos - float64(lo)
+	return vals[lo]*(1-frac) + vals[lo+1]*frac
+}
+
+// StdDev returns the population standard deviation of the values.
+func (s *Series) StdDev() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, sm := range s.samples {
+		sum += sm.V
+	}
+	mean := sum / float64(n)
+	var sq float64
+	for _, sm := range s.samples {
+		d := sm.V - mean
+		sq += d * d
+	}
+	return math.Sqrt(sq / float64(n))
+}
+
+// HistogramBin is one bucket of a value histogram.
+type HistogramBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram buckets the series values into n equal-width bins spanning
+// [min, max]. The top edge is inclusive.
+func (s *Series) Histogram(n int) []HistogramBin {
+	if n <= 0 {
+		panic("trace: histogram needs positive bin count")
+	}
+	if len(s.samples) == 0 {
+		return nil
+	}
+	st := s.Summarize()
+	lo, hi := st.Min, st.Max
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(n)
+	bins := make([]HistogramBin, n)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*width
+		bins[i].Hi = bins[i].Lo + width
+	}
+	for _, sm := range s.samples {
+		idx := int((sm.V - lo) / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		bins[idx].Count++
+	}
+	return bins
+}
+
+// MovingAverage returns a new series whose value at each sample is the
+// mean of the trailing window (by sample count, matching the 1 Hz
+// instruments). window must be positive.
+func (s *Series) MovingAverage(window int) *Series {
+	if window <= 0 {
+		panic("trace: moving average needs a positive window")
+	}
+	out := NewSeries(s.Name+".ma", s.Unit)
+	var sum float64
+	for i, sm := range s.samples {
+		sum += sm.V
+		if i >= window {
+			sum -= s.samples[i-window].V
+		}
+		n := window
+		if i+1 < window {
+			n = i + 1
+		}
+		out.Append(sm.T, sum/float64(n))
+	}
+	return out
+}
+
+// Downsample returns a series keeping every k-th sample (for compact
+// plotting of long runs).
+func (s *Series) Downsample(k int) *Series {
+	if k <= 0 {
+		panic("trace: downsample needs a positive factor")
+	}
+	out := NewSeries(s.Name, s.Unit)
+	for i := 0; i < len(s.samples); i += k {
+		out.Append(s.samples[i].T, s.samples[i].V)
+	}
+	return out
+}
+
+// EnergyAbove integrates the portion of the series above a floor — the
+// "dynamic energy above idle" attribution used in the experiments, as
+// a meter would compute it.
+func (s *Series) EnergyAbove(floor float64) units.Joules {
+	var sum float64
+	for i := 0; i+1 < len(s.samples); i++ {
+		dt := float64(s.samples[i+1].T - s.samples[i].T)
+		if v := s.samples[i].V - floor; v > 0 {
+			sum += v * dt
+		}
+	}
+	return units.Joules(sum)
+}

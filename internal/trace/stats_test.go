@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func seq(vals ...float64) *Series {
+	s := NewSeries("t", "W")
+	for i, v := range vals {
+		s.Append(units.Seconds(i), v)
+	}
+	return s
+}
+
+func TestPercentileBasics(t *testing.T) {
+	s := seq(10, 20, 30, 40, 50)
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {90, 46},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	s := seq(50, 10, 40, 20, 30)
+	if got := s.Percentile(50); got != 30 {
+		t.Errorf("median of shuffled = %v, want 30", got)
+	}
+}
+
+func TestPercentileEmptyAndValidation(t *testing.T) {
+	if !math.IsNaN(seq().Percentile(50)) {
+		t.Error("empty percentile not NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("percentile 101 did not panic")
+		}
+	}()
+	seq(1).Percentile(101)
+}
+
+func TestStdDev(t *testing.T) {
+	s := seq(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := seq().StdDev(); got != 0 {
+		t.Errorf("empty StdDev = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := seq(0, 1, 2, 3, 4, 5, 6, 7, 8, 10)
+	bins := s.Histogram(5)
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 10 {
+		t.Errorf("histogram lost samples: %d/10", total)
+	}
+	if bins[0].Lo != 0 || bins[4].Hi != 10 {
+		t.Errorf("edges = %v..%v", bins[0].Lo, bins[4].Hi)
+	}
+	// The max value lands in the last (inclusive-top) bin.
+	if bins[4].Count == 0 {
+		t.Error("max value not in last bin")
+	}
+}
+
+func TestHistogramFlatSeries(t *testing.T) {
+	bins := seq(5, 5, 5).Histogram(4)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Errorf("flat histogram total = %d", total)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	s := seq(10, 20, 30, 40)
+	ma := s.MovingAverage(2)
+	want := []float64{10, 15, 25, 35}
+	for i, w := range want {
+		if got := ma.At(i).V; math.Abs(got-w) > 1e-12 {
+			t.Errorf("ma[%d] = %v, want %v", i, got, w)
+		}
+	}
+	if ma.Len() != s.Len() {
+		t.Error("moving average changed length")
+	}
+}
+
+func TestMovingAverageSmoothsNoise(t *testing.T) {
+	s := NewSeries("n", "W")
+	for i := 0; i < 200; i++ {
+		v := 100.0
+		if i%2 == 0 {
+			v = 110
+		}
+		s.Append(units.Seconds(i), v)
+	}
+	ma := s.MovingAverage(10)
+	if ma.StdDev() >= s.StdDev()/2 {
+		t.Errorf("smoothing ineffective: %v -> %v", s.StdDev(), ma.StdDev())
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := seq(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	d := s.Downsample(3)
+	if d.Len() != 4 {
+		t.Fatalf("downsampled len = %d, want 4", d.Len())
+	}
+	if d.At(1).V != 3 || d.At(3).V != 9 {
+		t.Errorf("downsampled values wrong: %v", d.Samples())
+	}
+}
+
+func TestEnergyAbove(t *testing.T) {
+	s := seq(100, 110, 90, 120)
+	// Rectangle rule, floor 100: 0*1 + 10*1 + 0*1 (last sample no width).
+	if got := float64(s.EnergyAbove(100)); math.Abs(got-10) > 1e-12 {
+		t.Errorf("EnergyAbove = %v, want 10", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, aRaw, bRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		s := NewSeries("p", "W")
+		for i, v := range vals {
+			s.Append(units.Seconds(i), v)
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := s.Percentile(a), s.Percentile(b)
+		st := s.Summarize()
+		return pa <= pb+1e-9 && pa >= st.Min-1e-9 && pb <= st.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

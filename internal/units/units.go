@@ -1,0 +1,122 @@
+// Package units defines the physical quantities used throughout the
+// simulator — virtual time, power, energy, and data sizes — together with
+// parsing and SI formatting helpers.
+//
+// All quantities are float64 wrappers rather than integer ticks: the
+// simulator integrates piecewise-constant power over arbitrary-length
+// intervals, and float64 seconds keep that exact for the magnitudes we
+// care about (runs are minutes long, resolutions are microseconds).
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Seconds is a span of virtual time. Negative durations are invalid
+// everywhere in the simulator.
+type Seconds float64
+
+// Watts is instantaneous power.
+type Watts float64
+
+// Joules is energy: the integral of Watts over Seconds.
+type Joules float64
+
+// Bytes is a data size or offset.
+type Bytes int64
+
+// Common data sizes.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+)
+
+// Common time spans.
+const (
+	Microsecond Seconds = 1e-6
+	Millisecond Seconds = 1e-3
+	Second      Seconds = 1
+	Minute      Seconds = 60
+	Hour        Seconds = 3600
+)
+
+// KJ converts energy to kilojoules.
+func (j Joules) KJ() float64 { return float64(j) / 1000 }
+
+// Energy returns the energy dissipated at power w over duration d.
+func Energy(w Watts, d Seconds) Joules {
+	return Joules(float64(w) * float64(d))
+}
+
+// AveragePower returns the mean power that dissipates j over d.
+// It returns 0 for non-positive durations.
+func AveragePower(j Joules, d Seconds) Watts {
+	if d <= 0 {
+		return 0
+	}
+	return Watts(float64(j) / float64(d))
+}
+
+// TransferTime returns the time to move n bytes at rate bytesPerSecond.
+// It returns 0 when either argument is non-positive.
+func TransferTime(n Bytes, bytesPerSecond float64) Seconds {
+	if n <= 0 || bytesPerSecond <= 0 {
+		return 0
+	}
+	return Seconds(float64(n) / bytesPerSecond)
+}
+
+// String formats the duration with a unit that keeps 3-4 significant
+// digits: "35.9s", "8.50ms", "1.2us".
+func (s Seconds) String() string {
+	v := float64(s)
+	av := math.Abs(v)
+	switch {
+	case av >= 1 || av == 0:
+		return trimUnit(v, "s")
+	case av >= 1e-3:
+		return trimUnit(v*1e3, "ms")
+	case av >= 1e-6:
+		return trimUnit(v*1e6, "us")
+	default:
+		return trimUnit(v*1e9, "ns")
+	}
+}
+
+// String formats power as watts with up to one decimal: "114.8W".
+func (w Watts) String() string { return trimUnit(float64(w), "W") }
+
+// String formats energy, switching to KJ above 10 kJ to match the
+// paper's tables: "238.6KJ", "482J".
+func (j Joules) String() string {
+	v := float64(j)
+	if math.Abs(v) >= 10_000 {
+		return trimUnit(v/1000, "KJ")
+	}
+	return trimUnit(v, "J")
+}
+
+// String formats sizes in binary units: "16KiB", "4GiB", "512B".
+func (b Bytes) String() string {
+	switch {
+	case b >= GiB:
+		return trimUnit(float64(b)/float64(GiB), "GiB")
+	case b >= MiB:
+		return trimUnit(float64(b)/float64(MiB), "MiB")
+	case b >= KiB:
+		return trimUnit(float64(b)/float64(KiB), "KiB")
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// trimUnit prints v with one decimal place, dropping a trailing ".0".
+func trimUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.1f", v)
+	if len(s) > 2 && s[len(s)-2:] == ".0" {
+		s = s[:len(s)-2]
+	}
+	return s + unit
+}

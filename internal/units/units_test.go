@@ -1,0 +1,140 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergy(t *testing.T) {
+	tests := []struct {
+		w    Watts
+		d    Seconds
+		want Joules
+	}{
+		{0, 10, 0},
+		{100, 0, 0},
+		{115, 2, 230},
+		{107, 2230, 238610},
+		{1.5, 0.5, 0.75},
+	}
+	for _, tt := range tests {
+		if got := Energy(tt.w, tt.d); math.Abs(float64(got-tt.want)) > 1e-9 {
+			t.Errorf("Energy(%v, %v) = %v, want %v", tt.w, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestAveragePower(t *testing.T) {
+	if got := AveragePower(230, 2); got != 115 {
+		t.Errorf("AveragePower(230, 2) = %v, want 115", got)
+	}
+	if got := AveragePower(100, 0); got != 0 {
+		t.Errorf("AveragePower over zero duration = %v, want 0", got)
+	}
+	if got := AveragePower(100, -1); got != 0 {
+		t.Errorf("AveragePower over negative duration = %v, want 0", got)
+	}
+}
+
+func TestEnergyAveragePowerRoundTrip(t *testing.T) {
+	f := func(w uint16, dMilli uint32) bool {
+		power := Watts(float64(w) / 16)
+		dur := Seconds(float64(dMilli)/1000) + Millisecond
+		back := AveragePower(Energy(power, dur), dur)
+		return math.Abs(float64(back-power)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	tests := []struct {
+		n    Bytes
+		rate float64
+		want Seconds
+	}{
+		{4 * GiB, 114e6, Seconds(float64(4*GiB) / 114e6)},
+		{0, 100, 0},
+		{-5, 100, 0},
+		{100, 0, 0},
+		{1000, 1000, 1},
+	}
+	for _, tt := range tests {
+		if got := TransferTime(tt.n, tt.rate); math.Abs(float64(got-tt.want)) > 1e-12 {
+			t.Errorf("TransferTime(%d, %v) = %v, want %v", tt.n, tt.rate, got, tt.want)
+		}
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	tests := []struct {
+		s    Seconds
+		want string
+	}{
+		{35.9, "35.9s"},
+		{0, "0s"},
+		{1, "1s"},
+		{8.5e-3, "8.5ms"},
+		{0.0042, "4.2ms"},
+		{2e-6, "2us"},
+		{3e-9, "3ns"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Seconds(%g).String() = %q, want %q", float64(tt.s), got, tt.want)
+		}
+	}
+}
+
+func TestWattsString(t *testing.T) {
+	if got := Watts(114.8).String(); got != "114.8W" {
+		t.Errorf("got %q", got)
+	}
+	if got := Watts(115).String(); got != "115W" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestJoulesString(t *testing.T) {
+	tests := []struct {
+		j    Joules
+		want string
+	}{
+		{482, "482J"},
+		{238600, "238.6KJ"},
+		{9999, "9999J"},
+		{10000, "10KJ"},
+	}
+	for _, tt := range tests {
+		if got := tt.j.String(); got != tt.want {
+			t.Errorf("Joules(%g).String() = %q, want %q", float64(tt.j), got, tt.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	tests := []struct {
+		b    Bytes
+		want string
+	}{
+		{512, "512B"},
+		{16 * KiB, "16KiB"},
+		{4 * GiB, "4GiB"},
+		{128 * KiB, "128KiB"},
+		{3 * MiB, "3MiB"},
+		{MiB + 512*KiB, "1.5MiB"},
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(tt.b), got, tt.want)
+		}
+	}
+}
+
+func TestKJ(t *testing.T) {
+	if got := Joules(238600).KJ(); math.Abs(got-238.6) > 1e-9 {
+		t.Errorf("KJ() = %v, want 238.6", got)
+	}
+}

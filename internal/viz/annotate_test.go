@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"image"
+	"image/color"
+	"testing"
+)
+
+func blank(w, h int) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for i := range img.Pix {
+		img.Pix[i] = 0x40
+	}
+	return img
+}
+
+func TestDrawTextMarksPixels(t *testing.T) {
+	img := blank(100, 20)
+	white := color.RGBA{255, 255, 255, 255}
+	adv := DrawText(img, 2, 2, "T=1.5", white)
+	if adv != 2+5*glyphW {
+		t.Errorf("advance = %d, want %d", adv, 2+5*glyphW)
+	}
+	found := 0
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 100; x++ {
+			if img.RGBAAt(x, y) == white {
+				found++
+			}
+		}
+	}
+	if found < 20 {
+		t.Errorf("only %d text pixels drawn", found)
+	}
+}
+
+func TestDrawTextClipsAtBounds(t *testing.T) {
+	img := blank(10, 10)
+	// Must not panic even though the text runs off the image.
+	DrawText(img, 5, 5, "123456789", color.RGBA{255, 255, 255, 255})
+}
+
+func TestDrawTextUnknownRuneIsBlank(t *testing.T) {
+	img := blank(40, 12)
+	before := append([]uint8(nil), img.Pix...)
+	DrawText(img, 2, 2, "~~~", color.RGBA{255, 255, 255, 255})
+	for i := range img.Pix {
+		if img.Pix[i] != before[i] {
+			t.Fatal("unknown runes drew pixels")
+		}
+	}
+}
+
+func TestAnnotateStampsFooterAndColorbar(t *testing.T) {
+	img := blank(256, 256)
+	Annotate(img, AnnotateOptions{
+		Step: 4096, SimTime: 12.5,
+		Colormap: Inferno(), Lo: 0, Hi: 1000,
+	})
+	// Footer is black with white text.
+	blackish := 0
+	for x := 0; x < 256; x++ {
+		c := img.RGBAAt(x, 250)
+		if c.R < 16 && c.G < 16 && c.B < 16 {
+			blackish++
+		}
+	}
+	if blackish < 100 {
+		t.Errorf("footer bar not drawn (%d black pixels on footer row)", blackish)
+	}
+	// The colorbar occupies the right third: colors vary along it.
+	barY := 256 - 14 + 5
+	left := img.RGBAAt(256-80, barY)
+	right := img.RGBAAt(256-6, barY)
+	if left == right {
+		t.Error("colorbar shows no gradient")
+	}
+}
+
+func TestAnnotateChangesEncoding(t *testing.T) {
+	g := hotSpotGrid()
+	opts := RenderOptions{Width: 256, Height: 256}
+	a, _ := Render(g, opts)
+	b, _ := Render(g, opts)
+	Annotate(b, AnnotateOptions{Step: 7, SimTime: 1, Colormap: Inferno(), Lo: 0, Hi: 100})
+	pa, _ := EncodePNG(a)
+	pb, _ := EncodePNG(b)
+	if string(pa) == string(pb) {
+		t.Error("annotation did not change the encoded frame")
+	}
+}
+
+func TestAnnotateDeterministic(t *testing.T) {
+	mk := func() []byte {
+		img := blank(256, 256)
+		Annotate(img, AnnotateOptions{Step: 1, SimTime: 2, Colormap: CoolWarm(), Lo: -1, Hi: 1})
+		p, _ := EncodePNG(img)
+		return p
+	}
+	if string(mk()) != string(mk()) {
+		t.Error("annotation not deterministic")
+	}
+}
+
+func TestAnnotateTinyImageNoop(t *testing.T) {
+	img := blank(40, 20)
+	before := append([]uint8(nil), img.Pix...)
+	Annotate(img, AnnotateOptions{Step: 1, SimTime: 1, Colormap: Inferno()})
+	for i := range img.Pix {
+		if img.Pix[i] != before[i] {
+			t.Fatal("tiny image was annotated (should skip)")
+		}
+	}
+}

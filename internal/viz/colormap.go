@@ -1,0 +1,110 @@
+// Package viz is the visualization stage of both pipelines: colormaps,
+// a bilinear field-to-raster renderer, marching-squares isocontours,
+// and PNG frame encoding. Like the heat solver, it performs real work
+// on real data; the platform model charges virtual time for the pixels
+// and cells it processes.
+package viz
+
+import (
+	"fmt"
+	"image/color"
+	"sort"
+)
+
+// Colormap maps a normalized scalar in [0, 1] to a color by linear
+// interpolation between control points.
+type Colormap struct {
+	name   string
+	stops  []float64
+	colors []color.RGBA
+}
+
+// NewColormap builds a colormap from sorted control points. It panics
+// on fewer than two stops or unsorted positions.
+func NewColormap(name string, stops []float64, colors []color.RGBA) *Colormap {
+	if len(stops) < 2 || len(stops) != len(colors) {
+		panic("viz: colormap needs >= 2 matching stops and colors")
+	}
+	if !sort.Float64sAreSorted(stops) {
+		panic("viz: colormap stops must be sorted")
+	}
+	if stops[0] != 0 || stops[len(stops)-1] != 1 {
+		panic("viz: colormap must span [0, 1]")
+	}
+	return &Colormap{name: name, stops: stops, colors: colors}
+}
+
+// Name returns the colormap name.
+func (c *Colormap) Name() string { return c.name }
+
+// Map returns the color for t, clamping t into [0, 1].
+func (c *Colormap) Map(t float64) color.RGBA {
+	if t <= 0 {
+		return c.colors[0]
+	}
+	if t >= 1 {
+		return c.colors[len(c.colors)-1]
+	}
+	i := sort.SearchFloat64s(c.stops, t)
+	// stops[i-1] < t <= stops[i]; i >= 1 because stops[0] == 0 < t.
+	lo, hi := c.stops[i-1], c.stops[i]
+	f := (t - lo) / (hi - lo)
+	a, b := c.colors[i-1], c.colors[i]
+	return color.RGBA{
+		R: lerp8(a.R, b.R, f),
+		G: lerp8(a.G, b.G, f),
+		B: lerp8(a.B, b.B, f),
+		A: 255,
+	}
+}
+
+func lerp8(a, b uint8, f float64) uint8 {
+	return uint8(float64(a) + f*(float64(b)-float64(a)) + 0.5)
+}
+
+// Inferno returns a perceptually-ordered dark-to-bright map suited to
+// temperature fields.
+func Inferno() *Colormap {
+	return NewColormap("inferno",
+		[]float64{0, 0.25, 0.5, 0.75, 1},
+		[]color.RGBA{
+			{0, 0, 4, 255},
+			{87, 16, 110, 255},
+			{188, 55, 84, 255},
+			{249, 142, 9, 255},
+			{252, 255, 164, 255},
+		})
+}
+
+// CoolWarm returns the diverging blue-white-red map used for signed
+// anomalies.
+func CoolWarm() *Colormap {
+	return NewColormap("coolwarm",
+		[]float64{0, 0.5, 1},
+		[]color.RGBA{
+			{59, 76, 192, 255},
+			{221, 221, 221, 255},
+			{180, 4, 38, 255},
+		})
+}
+
+// Grayscale returns a linear black-to-white ramp.
+func Grayscale() *Colormap {
+	return NewColormap("gray",
+		[]float64{0, 1},
+		[]color.RGBA{{0, 0, 0, 255}, {255, 255, 255, 255}})
+}
+
+// ByName looks up a built-in colormap.
+func ByName(name string) (*Colormap, error) {
+	switch name {
+	case "inferno":
+		return Inferno(), nil
+	case "coolwarm":
+		return CoolWarm(), nil
+	case "gray":
+		return Grayscale(), nil
+	default:
+		return nil, fmt.Errorf("viz: unknown colormap %q", name)
+	}
+}

@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/heat"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	g := hotSpotGrid()
+	blob, err := CompressField(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressField(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NX != g.NX || back.NY != g.NY {
+		t.Fatalf("dims %dx%d", back.NX, back.NY)
+	}
+	lo, hi := g.MinMax()
+	tol := (hi - lo) / 65535 * 1.01
+	for i := range g.Data {
+		if math.Abs(back.Data[i]-g.Data[i]) > tol {
+			t.Fatalf("cell %d off by %v (> quantization step)", i, math.Abs(back.Data[i]-g.Data[i]))
+		}
+	}
+}
+
+func TestCompressionRatioOnSmoothField(t *testing.T) {
+	// A real 128x128 solver field (what the pipelines checkpoint)
+	// delta-compresses ~3x.
+	s := heat.NewSolver(heat.DefaultParams())
+	s.Step(500)
+	ratio, err := CompressionRatio(s.Field())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 2 {
+		t.Errorf("solver field compressed only %.2fx, want >= 2", ratio)
+	}
+}
+
+func TestCompressionRatioOnNoise(t *testing.T) {
+	g := heat.NewGrid(64, 64)
+	x := uint64(12345)
+	for i := range g.Data {
+		x = x*6364136223846793005 + 1442695040888963407
+		g.Data[i] = float64(x >> 40)
+	}
+	ratio, err := CompressionRatio(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random data barely compresses.
+	if ratio > 1.3 {
+		t.Errorf("noise compressed %.2fx, suspicious", ratio)
+	}
+}
+
+func TestCompressFlatField(t *testing.T) {
+	g := heat.NewGrid(32, 32)
+	g.Fill(42)
+	blob, err := CompressField(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecompressField(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.At(5, 5) != 42 {
+		t.Errorf("flat field value = %v", back.At(5, 5))
+	}
+	ratio, _ := CompressionRatio(g)
+	if ratio < 20 {
+		t.Errorf("flat field compressed only %.1fx", ratio)
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, err := DecompressField([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage decompressed without error")
+	}
+}
+
+func TestCompressedRenderVisuallyClose(t *testing.T) {
+	g := hotSpotGrid()
+	blob, _ := CompressField(g)
+	back, _ := DecompressField(blob)
+	opts := RenderOptions{Width: 128, Height: 128, Lo: 0, Hi: 100}
+	a, _ := Render(g, opts)
+	b, _ := Render(back, opts)
+	if p := PSNR(a, b); p < 45 {
+		t.Errorf("16-bit quantization PSNR = %.1f dB, want >= 45 (visually lossless)", p)
+	}
+}

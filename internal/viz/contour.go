@@ -1,0 +1,128 @@
+package viz
+
+import "repro/internal/heat"
+
+// Segment is one isoline piece in grid coordinates (cell units).
+type Segment struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// MarchingSquares extracts the isocontour of the field at the given
+// level as line segments, returning the segments and the number of
+// cells visited (the stage's work unit).
+func MarchingSquares(g *heat.Grid, level float64) ([]Segment, int) {
+	var segs []Segment
+	cells := 0
+	for y := 0; y < g.NY-1; y++ {
+		for x := 0; x < g.NX-1; x++ {
+			cells++
+			// Corner values: tl, tr, br, bl.
+			tl := g.At(x, y)
+			tr := g.At(x+1, y)
+			br := g.At(x+1, y+1)
+			bl := g.At(x, y+1)
+
+			idx := 0
+			if tl >= level {
+				idx |= 8
+			}
+			if tr >= level {
+				idx |= 4
+			}
+			if br >= level {
+				idx |= 2
+			}
+			if bl >= level {
+				idx |= 1
+			}
+			if idx == 0 || idx == 15 {
+				continue
+			}
+
+			// Interpolated crossing points on each edge.
+			top := func() (float64, float64) { return float64(x) + frac(tl, tr, level), float64(y) }
+			bottom := func() (float64, float64) { return float64(x) + frac(bl, br, level), float64(y + 1) }
+			left := func() (float64, float64) { return float64(x), float64(y) + frac(tl, bl, level) }
+			right := func() (float64, float64) { return float64(x + 1), float64(y) + frac(tr, br, level) }
+
+			emit := func(ax, ay, bx, by float64) {
+				segs = append(segs, Segment{ax, ay, bx, by})
+			}
+			switch idx {
+			case 1, 14: // bl isolated
+				ax, ay := left()
+				bx, by := bottom()
+				emit(ax, ay, bx, by)
+			case 2, 13: // br isolated
+				ax, ay := bottom()
+				bx, by := right()
+				emit(ax, ay, bx, by)
+			case 3, 12: // bottom half
+				ax, ay := left()
+				bx, by := right()
+				emit(ax, ay, bx, by)
+			case 4, 11: // tr isolated
+				ax, ay := top()
+				bx, by := right()
+				emit(ax, ay, bx, by)
+			case 6, 9: // right half
+				ax, ay := top()
+				bx, by := bottom()
+				emit(ax, ay, bx, by)
+			case 7, 8: // tl isolated
+				ax, ay := left()
+				bx, by := top()
+				emit(ax, ay, bx, by)
+			case 5: // saddle: tl+br ambiguous, resolve by center average
+				if (tl+tr+br+bl)/4 >= level {
+					ax, ay := left()
+					bx, by := top()
+					emit(ax, ay, bx, by)
+					cx, cy := bottom()
+					dx, dy := right()
+					emit(cx, cy, dx, dy)
+				} else {
+					ax, ay := left()
+					bx, by := bottom()
+					emit(ax, ay, bx, by)
+					cx, cy := top()
+					dx, dy := right()
+					emit(cx, cy, dx, dy)
+				}
+			case 10: // saddle: tr+bl
+				if (tl+tr+br+bl)/4 >= level {
+					ax, ay := top()
+					bx, by := right()
+					emit(ax, ay, bx, by)
+					cx, cy := left()
+					dx, dy := bottom()
+					emit(cx, cy, dx, dy)
+				} else {
+					ax, ay := left()
+					bx, by := top()
+					emit(ax, ay, bx, by)
+					cx, cy := bottom()
+					dx, dy := right()
+					emit(cx, cy, dx, dy)
+				}
+			}
+		}
+	}
+	return segs, cells
+}
+
+// frac returns the interpolation fraction where the level crosses
+// between a and b, clamped to [0, 1].
+func frac(a, b, level float64) float64 {
+	if a == b {
+		return 0.5
+	}
+	f := (level - a) / (b - a)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

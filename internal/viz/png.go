@@ -1,0 +1,24 @@
+package viz
+
+import (
+	"bytes"
+	"image"
+	"image/png"
+)
+
+// EncodePNG serializes a frame to PNG bytes — the artifact both
+// pipelines write to disk per visualization event.
+func EncodePNG(img image.Image) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := png.Encoder{CompressionLevel: png.BestSpeed}
+	if err := enc.Encode(&buf, img); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePNG parses PNG bytes back into an image (used by tests and the
+// quickstart example to validate frames).
+func DecodePNG(data []byte) (image.Image, error) {
+	return png.Decode(bytes.NewReader(data))
+}

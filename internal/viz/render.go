@@ -1,0 +1,143 @@
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+
+	"repro/internal/heat"
+)
+
+// RenderOptions configures a frame render.
+type RenderOptions struct {
+	// Width, Height of the output raster.
+	Width, Height int
+	// Colormap for the field; nil means Inferno.
+	Colormap *Colormap
+	// Lo, Hi normalize the field; equal values auto-scale per frame.
+	Lo, Hi float64
+	// Isolines, when non-empty, overlays marching-squares contours at
+	// these field values.
+	Isolines []float64
+	// IsolineColor is the overlay color (default white).
+	IsolineColor color.RGBA
+}
+
+// DefaultRenderOptions returns the pipelines' 512×512 auto-scaled
+// inferno frame with three isolines.
+func DefaultRenderOptions() RenderOptions {
+	return RenderOptions{Width: 512, Height: 512}
+}
+
+// RenderStats reports the work a render performed, which the platform
+// model converts to virtual time.
+type RenderStats struct {
+	Pixels       int // colormapped output pixels
+	ContourCells int // marching-squares cells visited
+	Segments     int // contour segments emitted
+}
+
+// Render rasterizes the field: bilinear resampling to Width×Height,
+// colormap application, optional isoline overlay.
+func Render(g *heat.Grid, opts RenderOptions) (*image.RGBA, RenderStats) {
+	if opts.Width <= 0 || opts.Height <= 0 {
+		panic(fmt.Sprintf("viz: render size %dx%d must be positive", opts.Width, opts.Height))
+	}
+	cm := opts.Colormap
+	if cm == nil {
+		cm = Inferno()
+	}
+	lo, hi := opts.Lo, opts.Hi
+	if lo == hi {
+		lo, hi = g.MinMax()
+		if lo == hi { // flat field
+			hi = lo + 1
+		}
+	}
+	inv := 1 / (hi - lo)
+
+	img := image.NewRGBA(image.Rect(0, 0, opts.Width, opts.Height))
+	var stats RenderStats
+	sx := float64(g.NX-1) / float64(max(opts.Width-1, 1))
+	sy := float64(g.NY-1) / float64(max(opts.Height-1, 1))
+	for py := 0; py < opts.Height; py++ {
+		fy := float64(py) * sy
+		y0 := int(fy)
+		if y0 >= g.NY-1 {
+			y0 = g.NY - 2
+		}
+		wy := fy - float64(y0)
+		for px := 0; px < opts.Width; px++ {
+			fx := float64(px) * sx
+			x0 := int(fx)
+			if x0 >= g.NX-1 {
+				x0 = g.NX - 2
+			}
+			wx := fx - float64(x0)
+			v := (1-wx)*(1-wy)*g.At(x0, y0) +
+				wx*(1-wy)*g.At(x0+1, y0) +
+				(1-wx)*wy*g.At(x0, y0+1) +
+				wx*wy*g.At(x0+1, y0+1)
+			img.SetRGBA(px, py, cm.Map((v-lo)*inv))
+			stats.Pixels++
+		}
+	}
+
+	lineColor := opts.IsolineColor
+	if lineColor.A == 0 {
+		lineColor = color.RGBA{255, 255, 255, 255}
+	}
+	for _, level := range opts.Isolines {
+		segs, cells := MarchingSquares(g, level)
+		stats.ContourCells += cells
+		stats.Segments += len(segs)
+		scaleX := float64(opts.Width-1) / float64(g.NX-1)
+		scaleY := float64(opts.Height-1) / float64(g.NY-1)
+		for _, s := range segs {
+			drawLine(img,
+				int(s.X0*scaleX+0.5), int(s.Y0*scaleY+0.5),
+				int(s.X1*scaleX+0.5), int(s.Y1*scaleY+0.5),
+				lineColor)
+		}
+	}
+	return img, stats
+}
+
+// drawLine rasterizes a Bresenham segment, clipped to the image.
+func drawLine(img *image.RGBA, x0, y0, x1, y1 int, c color.RGBA) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	b := img.Bounds()
+	for {
+		if image.Pt(x0, y0).In(b) {
+			img.SetRGBA(x0, y0, c)
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

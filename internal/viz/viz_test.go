@@ -1,0 +1,240 @@
+package viz
+
+import (
+	"image/color"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heat"
+)
+
+func TestColormapEndpoints(t *testing.T) {
+	cm := Grayscale()
+	if got := cm.Map(0); got != (color.RGBA{0, 0, 0, 255}) {
+		t.Errorf("Map(0) = %v", got)
+	}
+	if got := cm.Map(1); got != (color.RGBA{255, 255, 255, 255}) {
+		t.Errorf("Map(1) = %v", got)
+	}
+}
+
+func TestColormapClamps(t *testing.T) {
+	cm := Inferno()
+	if cm.Map(-5) != cm.Map(0) || cm.Map(7) != cm.Map(1) {
+		t.Error("out-of-range values not clamped")
+	}
+}
+
+func TestColormapMidpointInterpolates(t *testing.T) {
+	cm := Grayscale()
+	got := cm.Map(0.5)
+	if got.R < 126 || got.R > 129 || got.R != got.G || got.G != got.B {
+		t.Errorf("Map(0.5) = %v, want mid-gray", got)
+	}
+}
+
+func TestColormapMonotoneGray(t *testing.T) {
+	cm := Grayscale()
+	prev := -1
+	for i := 0; i <= 100; i++ {
+		c := cm.Map(float64(i) / 100)
+		if int(c.R) < prev {
+			t.Fatalf("gray ramp not monotone at %d", i)
+		}
+		prev = int(c.R)
+	}
+}
+
+func TestColormapValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("single-stop colormap did not panic")
+		}
+	}()
+	NewColormap("bad", []float64{0}, []color.RGBA{{}})
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"inferno", "coolwarm", "gray"} {
+		cm, err := ByName(name)
+		if err != nil || cm.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, cm, err)
+		}
+	}
+	if _, err := ByName("plasma"); err == nil {
+		t.Error("unknown colormap did not error")
+	}
+}
+
+func hotSpotGrid() *heat.Grid {
+	g := heat.NewGrid(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			dx, dy := float64(x-16), float64(y-16)
+			g.Set(x, y, 100*math.Exp(-(dx*dx+dy*dy)/40))
+		}
+	}
+	return g
+}
+
+func TestRenderDimensionsAndStats(t *testing.T) {
+	img, stats := Render(hotSpotGrid(), RenderOptions{Width: 64, Height: 48})
+	if img.Bounds().Dx() != 64 || img.Bounds().Dy() != 48 {
+		t.Errorf("bounds = %v", img.Bounds())
+	}
+	if stats.Pixels != 64*48 {
+		t.Errorf("Pixels = %d, want %d", stats.Pixels, 64*48)
+	}
+}
+
+func TestRenderHotCenterBrighterThanEdge(t *testing.T) {
+	img, _ := Render(hotSpotGrid(), RenderOptions{Width: 64, Height: 64, Colormap: Grayscale()})
+	center := img.RGBAAt(32, 32)
+	corner := img.RGBAAt(1, 1)
+	if center.R <= corner.R {
+		t.Errorf("center %v not brighter than corner %v", center, corner)
+	}
+}
+
+func TestRenderFlatFieldDoesNotDivideByZero(t *testing.T) {
+	g := heat.NewGrid(8, 8)
+	g.Fill(42)
+	img, _ := Render(g, RenderOptions{Width: 16, Height: 16})
+	if img == nil {
+		t.Fatal("nil image")
+	}
+}
+
+func TestRenderExplicitScale(t *testing.T) {
+	g := heat.NewGrid(8, 8)
+	g.Fill(50)
+	img, _ := Render(g, RenderOptions{Width: 4, Height: 4, Colormap: Grayscale(), Lo: 0, Hi: 100})
+	c := img.RGBAAt(2, 2)
+	if c.R < 126 || c.R > 129 {
+		t.Errorf("50/100 maps to %v, want mid-gray", c)
+	}
+}
+
+func TestRenderBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size render did not panic")
+		}
+	}()
+	Render(hotSpotGrid(), RenderOptions{Width: 0, Height: 10})
+}
+
+func TestRenderIsolinesDrawOverlay(t *testing.T) {
+	opts := RenderOptions{Width: 64, Height: 64, Colormap: Grayscale(), Isolines: []float64{50}}
+	img, stats := Render(hotSpotGrid(), opts)
+	if stats.Segments == 0 || stats.ContourCells != 31*31 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// Some pixel near the 50-level ring must be pure white (overlay).
+	found := false
+	for y := 0; y < 64 && !found; y++ {
+		for x := 0; x < 64; x++ {
+			c := img.RGBAAt(x, y)
+			if c == (color.RGBA{255, 255, 255, 255}) {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("no isoline pixels drawn")
+	}
+}
+
+func TestMarchingSquaresCircleLevelSet(t *testing.T) {
+	segs, cells := MarchingSquares(hotSpotGrid(), 50)
+	if cells != 31*31 {
+		t.Errorf("cells = %d", cells)
+	}
+	if len(segs) < 8 {
+		t.Fatalf("only %d segments for a circular level set", len(segs))
+	}
+	// Every crossing point must lie close to the analytic circle
+	// r = sqrt(40 * ln(100/50)) around (16,16).
+	want := math.Sqrt(40 * math.Ln2)
+	for _, s := range segs {
+		for _, pt := range [][2]float64{{s.X0, s.Y0}, {s.X1, s.Y1}} {
+			r := math.Hypot(pt[0]-16, pt[1]-16)
+			if math.Abs(r-want) > 0.75 {
+				t.Fatalf("contour point (%.2f,%.2f) at radius %.2f, want ~%.2f", pt[0], pt[1], r, want)
+			}
+		}
+	}
+}
+
+func TestMarchingSquaresUniformFieldEmpty(t *testing.T) {
+	g := heat.NewGrid(16, 16)
+	g.Fill(10)
+	if segs, _ := MarchingSquares(g, 50); len(segs) != 0 {
+		t.Errorf("uniform field produced %d segments", len(segs))
+	}
+	if segs, _ := MarchingSquares(g, 5); len(segs) != 0 {
+		t.Errorf("all-above field produced %d segments", len(segs))
+	}
+}
+
+// Property: every marching-squares segment endpoint lies on a cell edge
+// within the grid, for random fields and levels.
+func TestMarchingSquaresEndpointsOnEdgesProperty(t *testing.T) {
+	f := func(vals []uint8, levelRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		g := heat.NewGrid(9, 9)
+		for i := range g.Data {
+			g.Data[i] = float64(vals[i%len(vals)])
+		}
+		level := float64(levelRaw)
+		segs, _ := MarchingSquares(g, level)
+		for _, s := range segs {
+			for _, pt := range [][2]float64{{s.X0, s.Y0}, {s.X1, s.Y1}} {
+				x, y := pt[0], pt[1]
+				if x < 0 || x > 8 || y < 0 || y > 8 {
+					return false
+				}
+				onGridX := x == math.Trunc(x)
+				onGridY := y == math.Trunc(y)
+				if !onGridX && !onGridY {
+					return false // crossing must be on a horizontal or vertical edge
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	img, _ := Render(hotSpotGrid(), RenderOptions{Width: 32, Height: 32})
+	data, err := EncodePNG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 100 {
+		t.Errorf("PNG suspiciously small: %d bytes", len(data))
+	}
+	back, err := DecodePNG(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bounds() != img.Bounds() {
+		t.Errorf("round-trip bounds %v != %v", back.Bounds(), img.Bounds())
+	}
+}
+
+func BenchmarkRender512(b *testing.B) {
+	g := hotSpotGrid()
+	opts := RenderOptions{Width: 512, Height: 512, Isolines: []float64{25, 50, 75}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(g, opts)
+	}
+}

@@ -1,0 +1,117 @@
+package wattsup
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func setup(cfg Config) (*sim.Engine, *power.Domain, *Meter) {
+	e := sim.NewEngine()
+	bus := power.NewBus(e, 0)
+	d := bus.NewDomain("package", 104.5)
+	prof := trace.NewProfile("t")
+	m := NewMeter(e, bus, prof, cfg, xrand.New(7))
+	return e, d, m
+}
+
+func TestMeterSamplesAveragePower(t *testing.T) {
+	cfg := Config{Period: 1, Quantum: 0, NoiseSigma: 0}
+	e, d, m := setup(cfg)
+	m.Start()
+	e.Advance(3)
+	d.SetLevel(143)
+	e.Advance(3)
+	m.Stop()
+	s := m.Series()
+	if s.Len() != 6 {
+		t.Fatalf("samples = %d, want 6", s.Len())
+	}
+	if math.Abs(s.At(1).V-104.5) > 1e-9 {
+		t.Errorf("idle sample = %v", s.At(1).V)
+	}
+	if math.Abs(s.At(5).V-143) > 1e-9 {
+		t.Errorf("busy sample = %v", s.At(5).V)
+	}
+}
+
+func TestMeterIntervalAverageNotInstantaneous(t *testing.T) {
+	cfg := Config{Period: 1, Quantum: 0, NoiseSigma: 0}
+	e, d, m := setup(cfg)
+	m.Start()
+	// Spike to 200 W for half of the first second.
+	e.Advance(0.5)
+	d.SetLevel(200)
+	e.Advance(0.5)
+	d.SetLevel(104.5)
+	e.Advance(0.0) // sample at t=1 fires during the advance above
+	s := m.Series()
+	if s.Len() != 1 {
+		t.Fatalf("samples = %d, want 1", s.Len())
+	}
+	want := (104.5 + 200) / 2
+	if math.Abs(s.At(0).V-want) > 1e-9 {
+		t.Errorf("sample = %v, want interval average %v", s.At(0).V, want)
+	}
+}
+
+func TestMeterQuantization(t *testing.T) {
+	cfg := Config{Period: 1, Quantum: 0.1, NoiseSigma: 0}
+	e, d, m := setup(cfg)
+	d.SetLevel(104.567)
+	m.Start()
+	e.Advance(2)
+	for _, sm := range m.Series().Samples() {
+		frac := math.Mod(sm.V*10, 1)
+		if frac > 1e-9 && frac < 1-1e-9 {
+			t.Fatalf("sample %v not quantized to 0.1 W", sm.V)
+		}
+	}
+}
+
+func TestMeterNoiseIsBoundedAndCentered(t *testing.T) {
+	cfg := Config{Period: 1, Quantum: 0, NoiseSigma: 0.5}
+	e, _, m := setup(cfg)
+	m.Start()
+	e.Advance(2000)
+	st := m.Series().Summarize()
+	if math.Abs(st.Mean-104.5) > 0.2 {
+		t.Errorf("noisy mean = %v, want ~104.5", st.Mean)
+	}
+	if st.Max-st.Min < 0.5 {
+		t.Error("noise produced suspiciously flat readings")
+	}
+	if st.Max-st.Min > 6 {
+		t.Errorf("noise spread %v too wide for sigma 0.5", st.Max-st.Min)
+	}
+}
+
+func TestMeterStartStopIdempotent(t *testing.T) {
+	cfg := Config{Period: 1}
+	e, _, m := setup(cfg)
+	m.Start()
+	m.Start()
+	e.Advance(3)
+	m.Stop()
+	m.Stop()
+	e.Advance(3)
+	if m.Series().Len() != 3 {
+		t.Errorf("samples = %d, want 3", m.Series().Len())
+	}
+}
+
+func TestMeterValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bus := power.NewBus(e, 0)
+	prof := trace.NewProfile("t")
+	defer func() {
+		if recover() == nil {
+			t.Error("noise without rng did not panic")
+		}
+	}()
+	NewMeter(e, bus, prof, Config{Period: 1, NoiseSigma: 1}, nil)
+}
