@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the full pre-merge gate: formatting, vet, build, and the
+# test suite under the race detector.
+check:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race -timeout 45m ./...
+
+# bench records the PR-1 benchmark set into BENCH_pr1.json.
+bench:
+	scripts/bench.sh
+
+clean:
+	rm -f greenviz BENCH_pr1.json

@@ -1,7 +1,12 @@
 package greenviz
 
 import (
+	"context"
+	"runtime"
 	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/viz"
 )
 
 // benchSuite returns a fresh suite per iteration: each benchmark
@@ -159,3 +164,69 @@ func BenchmarkFioRandRead(b *testing.B) {
 		RunFio(NewNode(SandyBridge(), uint64(i)+1), FioRandRead, DefaultFioConfig())
 	}
 }
+
+// benchGrid builds the pipelines' 256x256 field with a non-trivial
+// profile, matching the per-event work of a real run.
+func benchGrid() *Field {
+	g := NewHeatSolver(DefaultHeatParams()).Field()
+	return g
+}
+
+// BenchmarkRender measures the hot render path at the pipelines' frame
+// geometry, cycling frames through the pool the way the pipeline does.
+// Steady state should report ~0 allocs/op.
+func BenchmarkRender(b *testing.B) {
+	g := benchGrid()
+	opts := viz.DefaultRenderOptions()
+	opts.Isolines = []float64{25, 50, 75}
+	img, _ := viz.Render(g, opts) // warm the pools
+	viz.ReleaseFrame(img)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, _ := viz.Render(g, opts)
+		viz.ReleaseFrame(img)
+	}
+}
+
+// BenchmarkCheckpointEncode measures one checkpoint prefix encode
+// (header + 256x256 field, ~512 KiB) with the reusable Encoder.
+// Steady state should report 0 allocs/op.
+func BenchmarkCheckpointEncode(b *testing.B) {
+	g := benchGrid()
+	var e checkpoint.Encoder
+	buf := e.EncodeTo(nil, g, 0, 0, 4096) // grow scratch and dst once
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = e.EncodeTo(buf[:0], g, uint64(i), float64(i), 4096)
+	}
+}
+
+// benchSuiteAll regenerates every registered experiment on the given
+// worker count; serial vs parallel quantifies the RunAll speedup
+// (meaningful only on multi-core hosts).
+func benchSuiteAll(b *testing.B, workers int) {
+	b.Helper()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(uint64(i) + 1)
+		s.Fio.FileSize = 64 * MiB
+		reports, err := RunAllExperiments(ctx, s, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != 22 {
+			b.Fatalf("got %d reports, want 22", len(reports))
+		}
+	}
+}
+
+// BenchmarkSuiteAllSerial regenerates the full artifact registry on one
+// worker.
+func BenchmarkSuiteAllSerial(b *testing.B) { benchSuiteAll(b, 1) }
+
+// BenchmarkSuiteAllParallel regenerates the full artifact registry on
+// one worker per core.
+func BenchmarkSuiteAllParallel(b *testing.B) { benchSuiteAll(b, runtime.GOMAXPROCS(0)) }

@@ -6,20 +6,27 @@
 //	greenviz -list
 //	greenviz -experiment fig10
 //	greenviz -experiment all -seed 7
+//	greenviz -experiment all -workers 8
 //	greenviz -experiment fig5 -csv /tmp/profiles
 //
 // Each experiment prints the rows or ASCII-rendered series the paper
-// reports, plus the paper's published values for comparison. -csv
-// additionally dumps the power profiles of the case-study runs as CSV
-// for external plotting.
+// reports, plus the paper's published values for comparison. With
+// -experiment all the drivers run on -workers goroutines (default
+// GOMAXPROCS); reports still print in registry order and are
+// byte-identical at any worker count, with per-experiment wall times
+// reported on stderr. -csv additionally dumps the power profiles of
+// the case-study runs as CSV for external plotting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	greenviz "repro"
 	"repro/internal/core"
@@ -33,6 +40,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "master seed; equal seeds give identical output")
 		realSubsteps = flag.Int("real-substeps", 16, "solver sub-steps computed per iteration (<= 1536); higher is more faithful, slower")
 		fioGiB       = flag.Int("fio-gib", 4, "fio test file size in GiB (Table III uses 4)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment drivers for -experiment all")
 		csvDir       = flag.String("csv", "", "directory to dump case-study power profiles as CSV")
 
 		pipeline  = flag.String("pipeline", "", "run one pipeline instead of an experiment: post, insitu, intransit")
@@ -72,15 +80,25 @@ func main() {
 	suite := greenviz.NewSuite(*seed, &cfg)
 	suite.Fio.FileSize = units.Bytes(*fioGiB) * units.GiB
 
-	ids := []string{*expID}
 	if *expID == "all" {
-		ids = ids[:0]
-		for _, e := range greenviz.Experiments() {
-			ids = append(ids, e.ID)
+		start := time.Now()
+		reports, err := greenviz.RunAllExperiments(context.Background(), suite, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
+			os.Exit(1)
 		}
-	}
-	for _, id := range ids {
-		r, err := greenviz.RunExperiment(suite, id)
+		// Reports to stdout in registry order; the timing footer goes to
+		// stderr so stdout stays byte-identical at any -workers value.
+		for _, r := range reports {
+			fmt.Printf("== %s ==\n%s\n%s\n", r.ID, r.Title, r.Body)
+		}
+		fmt.Fprintf(os.Stderr, "-- wall time per experiment (workers=%d) --\n", *workers)
+		for _, r := range reports {
+			fmt.Fprintf(os.Stderr, "  %-12s %8.2fs\n", r.ID, r.Wall.Seconds())
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %8.2fs\n", "total", time.Since(start).Seconds())
+	} else {
+		r, err := greenviz.RunExperiment(suite, *expID)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
 			os.Exit(1)

@@ -1,6 +1,8 @@
 package greenviz
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/field"
@@ -257,7 +259,8 @@ type Experiment = experiments.Experiment
 func Experiments() []Experiment { return experiments.Registry() }
 
 // Suite caches the runs that experiments share; use one suite when
-// regenerating several artifacts.
+// regenerating several artifacts. A suite is safe for concurrent use
+// and deterministic in (seed, config) at any parallelism.
 type Suite = experiments.Suite
 
 // NewSuite creates an experiment suite. A nil cfg selects
@@ -271,4 +274,14 @@ func RunExperiment(s *Suite, id string) (Report, error) {
 		return Report{}, err
 	}
 	return e.Run(s), nil
+}
+
+// TimedReport is a regenerated artifact plus its driver's wall time.
+type TimedReport = experiments.Timed
+
+// RunAllExperiments regenerates every artifact, up to workers at a
+// time, returning reports in registry order. Report bodies are
+// byte-identical at any worker count for a given seed.
+func RunAllExperiments(ctx context.Context, s *Suite, workers int) ([]TimedReport, error) {
+	return s.RunAll(ctx, workers)
 }

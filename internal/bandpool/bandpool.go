@@ -1,0 +1,115 @@
+// Package bandpool provides a persistent worker pool for row-band
+// parallel grid sweeps. The solvers (internal/heat, internal/ocean)
+// step hundreds of thousands of times per pipeline run; spawning
+// GOMAXPROCS goroutines per step makes the scheduler the hot path.
+// A Pool keeps its workers parked on a channel between steps, so a
+// step costs one channel send per band instead of one goroutine spawn.
+package bandpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// job is one band of a Run dispatched to a parked worker.
+type job struct {
+	fn     func(y0, y1 int)
+	y0, y1 int
+	wg     *sync.WaitGroup
+}
+
+// Pool executes contiguous bands of an index range on a fixed set of
+// persistent goroutines. The zero worker set is spawned lazily on the
+// first parallel Run, so pools for solvers that are never stepped (or
+// configured with one worker) cost nothing.
+//
+// A Pool is owned by a single solver and, like the solver itself, is
+// not safe for concurrent Run calls; distinct solvers own distinct
+// pools and may run concurrently. Workers park on an unexported
+// channel and hold no reference to the Pool, so an abandoned Pool is
+// garbage-collected: a finalizer closes the channel and the workers
+// exit. Close may also be called explicitly.
+type Pool struct {
+	workers int
+	jobs    chan job
+	started bool
+}
+
+// New returns a pool that splits work across at most workers bands;
+// workers < 1 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the band count the pool splits work into.
+func (p *Pool) Workers() int { return p.workers }
+
+// start spawns the parked workers (workers-1 of them; Run's caller
+// executes the remaining band inline).
+func (p *Pool) start() {
+	p.jobs = make(chan job)
+	for i := 0; i < p.workers-1; i++ {
+		// The worker closes over the channel only — never the Pool —
+		// so the finalizer can run once the owning solver is dropped.
+		go func(jobs chan job) {
+			for j := range jobs {
+				j.fn(j.y0, j.y1)
+				j.wg.Done()
+			}
+		}(p.jobs)
+	}
+	p.started = true
+	runtime.SetFinalizer(p, (*Pool).Close)
+}
+
+// Close releases the worker goroutines. It is safe to call multiple
+// times; the pool must not be Run afterwards.
+func (p *Pool) Close() {
+	if p.started {
+		p.started = false
+		runtime.SetFinalizer(p, nil)
+		close(p.jobs)
+	}
+}
+
+// Run partitions [lo, hi) into at most Workers contiguous bands and
+// calls fn(y0, y1) for each, one band per worker, using the calling
+// goroutine for the first band. It returns when every band has
+// completed. With one worker (or a range smaller than two rows per
+// band) fn runs inline with no synchronization at all.
+func (p *Pool) Run(lo, hi int, fn func(y0, y1 int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(lo, hi)
+		return
+	}
+	if !p.started {
+		p.start()
+	}
+	band := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for k := 1; k < w; k++ {
+		y0 := lo + k*band
+		y1 := y0 + band
+		if y1 > hi {
+			y1 = hi
+		}
+		if y0 >= y1 {
+			break
+		}
+		wg.Add(1)
+		p.jobs <- job{fn: fn, y0: y0, y1: y1, wg: &wg}
+	}
+	fn(lo, lo+band)
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package bandpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversRangeExactlyOnce checks every index is visited once for
+// assorted worker counts and range shapes, including degenerate ones.
+func TestRunCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, span := range []struct{ lo, hi int }{
+			{0, 0}, {1, 2}, {1, 127}, {0, 128}, {3, 4}, {1, 17},
+		} {
+			p := New(workers)
+			counts := make([]int64, span.hi)
+			p.Run(span.lo, span.hi, func(y0, y1 int) {
+				for y := y0; y < y1; y++ {
+					atomic.AddInt64(&counts[y], 1)
+				}
+			})
+			for y := span.lo; y < span.hi; y++ {
+				if counts[y] != 1 {
+					t.Fatalf("workers=%d range=[%d,%d): row %d visited %d times",
+						workers, span.lo, span.hi, y, counts[y])
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestRunReusableAcrossSteps exercises many sequential Runs on one
+// pool, the solver stepping pattern.
+func TestRunReusableAcrossSteps(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total int64
+	for step := 0; step < 1000; step++ {
+		p.Run(1, 127, func(y0, y1 int) {
+			atomic.AddInt64(&total, int64(y1-y0))
+		})
+	}
+	if total != 1000*126 {
+		t.Fatalf("total rows = %d, want %d", total, 1000*126)
+	}
+}
+
+// TestCloseIdempotent verifies Close is safe to repeat and safe on a
+// never-started pool.
+func TestCloseIdempotent(t *testing.T) {
+	p := New(3)
+	p.Close() // never started
+	p.Run(0, 8, func(y0, y1 int) {})
+	p.Close()
+	p.Close()
+}
+
+// TestDefaultWorkerCount checks the GOMAXPROCS fallback.
+func TestDefaultWorkerCount(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", w)
+	}
+	if w := New(5).Workers(); w != 5 {
+		t.Fatalf("Workers() = %d, want 5", w)
+	}
+}

@@ -11,7 +11,6 @@
 package checkpoint
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -42,14 +41,25 @@ type Header struct {
 // ErrCorrupt reports a failed magic, bounds, or CRC check.
 var ErrCorrupt = errors.New("checkpoint: corrupt data")
 
-// encodeHeader serializes h (little-endian, fixed layout).
+// putHeader serializes h (little-endian, fixed layout) into dst, which
+// must hold at least HeaderSize bytes.
+func putHeader(dst []byte, h Header) {
+	copy(dst[0:8], Magic)
+	le := binary.LittleEndian
+	le.PutUint32(dst[8:], h.Version)
+	le.PutUint64(dst[12:], h.Step)
+	le.PutUint64(dst[20:], math.Float64bits(h.SimTime))
+	le.PutUint32(dst[28:], h.NX)
+	le.PutUint32(dst[32:], h.NY)
+	le.PutUint64(dst[36:], h.PayloadBytes)
+	le.PutUint32(dst[44:], h.GridCRC)
+}
+
+// encodeHeader serializes h into a fresh buffer.
 func encodeHeader(h Header) []byte {
-	buf := bytes.NewBuffer(make([]byte, 0, HeaderSize))
-	buf.WriteString(Magic)
-	for _, v := range []any{h.Version, h.Step, math.Float64bits(h.SimTime), h.NX, h.NY, h.PayloadBytes, h.GridCRC} {
-		binary.Write(buf, binary.LittleEndian, v) //nolint:errcheck // bytes.Buffer cannot fail
-	}
-	return buf.Bytes()
+	out := make([]byte, HeaderSize)
+	putHeader(out, h)
+	return out
 }
 
 // decodeHeader parses and validates a header.
@@ -60,25 +70,16 @@ func decodeHeader(b []byte) (Header, error) {
 	if string(b[:8]) != Magic {
 		return Header{}, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:8])
 	}
-	var h Header
-	r := bytes.NewReader(b[8:])
-	var simBits uint64
-	for _, v := range []any{&h.Version, &h.Step, &simBits, &h.NX, &h.NY, &h.PayloadBytes, &h.GridCRC} {
-		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
-			return Header{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-	}
-	h.SimTime = math.Float64frombits(simBits)
-	return h, nil
-}
-
-// encodeGrid serializes the field data little-endian.
-func encodeGrid(g *heat.Grid) []byte {
-	out := make([]byte, g.NX*g.NY*8)
-	for i, v := range g.Data {
-		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
-	}
-	return out
+	le := binary.LittleEndian
+	return Header{
+		Version:      le.Uint32(b[8:]),
+		Step:         le.Uint64(b[12:]),
+		SimTime:      math.Float64frombits(le.Uint64(b[20:])),
+		NX:           le.Uint32(b[28:]),
+		NY:           le.Uint32(b[32:]),
+		PayloadBytes: le.Uint64(b[36:]),
+		GridCRC:      le.Uint32(b[44:]),
+	}, nil
 }
 
 // decodeGrid reconstructs a field from encoded bytes.
@@ -90,14 +91,32 @@ func decodeGrid(b []byte, nx, ny int) *heat.Grid {
 	return g
 }
 
-// Write serializes a checkpoint into f: header + field (real bytes) +
-// payload (sparse). It does not fsync; the pipeline controls syncing.
-func Write(f *storage.File, g *heat.Grid, step uint64, simTime float64, payload units.Bytes) {
+// Encoder serializes checkpoints while reusing one header+grid scratch
+// buffer across events, so a pipeline writing hundreds of ~128 KiB
+// field snapshots allocates the encode buffer once instead of per
+// event. The zero value is ready to use. An Encoder is not safe for
+// concurrent use; give each writer (each pipeline run) its own.
+type Encoder struct {
+	prefix []byte // header + encoded grid scratch, reused across events
+}
+
+// encodePrefixInto rebuilds e.prefix for the given event and returns
+// it. The returned slice is owned by e and valid until the next call.
+func (e *Encoder) encodePrefixInto(g *heat.Grid, step uint64, simTime float64, payload units.Bytes) []byte {
 	if payload < 0 {
 		panic("checkpoint: negative payload size")
 	}
-	grid := encodeGrid(g)
-	h := Header{
+	gridBytes := g.NX * g.NY * 8
+	need := HeaderSize + gridBytes
+	if cap(e.prefix) < need {
+		e.prefix = make([]byte, need)
+	}
+	e.prefix = e.prefix[:need]
+	grid := e.prefix[HeaderSize:]
+	for i, v := range g.Data {
+		binary.LittleEndian.PutUint64(grid[i*8:], math.Float64bits(v))
+	}
+	putHeader(e.prefix, Header{
 		Version:      1,
 		Step:         step,
 		SimTime:      simTime,
@@ -105,12 +124,36 @@ func Write(f *storage.File, g *heat.Grid, step uint64, simTime float64, payload 
 		NY:           uint32(g.NY),
 		PayloadBytes: uint64(payload),
 		GridCRC:      crc32.ChecksumIEEE(grid),
-	}
-	f.WriteAt(encodeHeader(h), 0)
-	f.WriteAt(grid, HeaderSize)
+	})
+	return e.prefix
+}
+
+// Write serializes a checkpoint into f: header + field (real bytes) +
+// payload (sparse), reusing e's scratch buffer. It does not fsync; the
+// pipeline controls syncing.
+func (e *Encoder) Write(f *storage.File, g *heat.Grid, step uint64, simTime float64, payload units.Bytes) {
+	prefix := e.encodePrefixInto(g, step, simTime, payload)
+	f.WriteAt(prefix[:HeaderSize], 0)
+	f.WriteAt(prefix[HeaderSize:], HeaderSize)
 	if payload > 0 {
-		f.WriteSparseAt(HeaderSize+units.Bytes(len(grid)), payload)
+		f.WriteSparseAt(units.Bytes(len(prefix)), payload)
 	}
+}
+
+// EncodeTo appends the retained prefix of a checkpoint — header plus
+// field bytes — to dst and returns the extended slice. The encode
+// scratch is e's and is reused; the appended bytes are the caller's.
+// Stores that keep content themselves (the parallel filesystem ships
+// this blob) pass a fresh or recycled dst per event.
+func (e *Encoder) EncodeTo(dst []byte, g *heat.Grid, step uint64, simTime float64, payload units.Bytes) []byte {
+	return append(dst, e.encodePrefixInto(g, step, simTime, payload)...)
+}
+
+// Write serializes a checkpoint into f with a one-shot Encoder; loops
+// over many events should hold an Encoder and use its Write instead.
+func Write(f *storage.File, g *heat.Grid, step uint64, simTime float64, payload units.Bytes) {
+	var e Encoder
+	e.Write(f, g, step, simTime, payload)
 }
 
 // TotalSize returns the on-disk size of a checkpoint of the given grid
@@ -120,20 +163,10 @@ func TotalSize(nx, ny int, payload units.Bytes) units.Bytes {
 }
 
 // EncodePrefix serializes the retained prefix of a checkpoint — header
-// plus field bytes — for stores that keep content themselves (the
-// parallel filesystem ships this blob; the bulk payload is sparse).
+// plus field bytes — into a fresh buffer with a one-shot Encoder.
 func EncodePrefix(g *heat.Grid, step uint64, simTime float64, payload units.Bytes) []byte {
-	grid := encodeGrid(g)
-	h := Header{
-		Version:      1,
-		Step:         step,
-		SimTime:      simTime,
-		NX:           uint32(g.NX),
-		NY:           uint32(g.NY),
-		PayloadBytes: uint64(payload),
-		GridCRC:      crc32.ChecksumIEEE(grid),
-	}
-	return append(encodeHeader(h), grid...)
+	var e Encoder
+	return e.EncodeTo(nil, g, step, simTime, payload)
 }
 
 // DecodePrefix parses an EncodePrefix blob, verifying magic and CRC.

@@ -163,17 +163,21 @@ type CheckpointStore interface {
 }
 
 // localStore is the default CheckpointStore: the node's own disk
-// through its page cache and filesystem, fsync per checkpoint.
+// through its page cache and filesystem, fsync per checkpoint. It
+// carries a checkpoint.Encoder so the ~128 KiB encode buffer is reused
+// across the run's events; a store therefore serves one run at a time,
+// like the node it wraps.
 type localStore struct {
 	n      *node.Node
 	policy storage.AllocPolicy
 	async  bool
+	enc    *checkpoint.Encoder
 }
 
 func (s localStore) WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes) {
 	f := s.n.FS.Create(name, s.policy)
 	s.n.WithIO(func() {
-		checkpoint.Write(f, g, step, simTime, payload)
+		s.enc.Write(f, g, step, simTime, payload)
 		if !s.async {
 			f.Fsync()
 		}
@@ -385,6 +389,7 @@ func renderAnnotatedFrame(cfg AppConfig, g *field.Grid, step uint64, simTime flo
 		Step: step, SimTime: simTime, Colormap: cm, Lo: lo, Hi: hi,
 	})
 	png, err := viz.EncodePNG(img)
+	viz.ReleaseFrame(img)
 	if err != nil {
 		panic(fmt.Sprintf("core: PNG encode failed: %v", err))
 	}
@@ -420,7 +425,7 @@ func (r *runner) runPostProcessing() {
 	n, cfg, cs := r.n, r.cfg, r.cs
 	store := cfg.Store
 	if store == nil {
-		store = localStore{n: n, policy: cfg.CheckpointPolicy, async: cfg.AsyncCheckpoint}
+		store = localStore{n: n, policy: cfg.CheckpointPolicy, async: cfg.AsyncCheckpoint, enc: &checkpoint.Encoder{}}
 	}
 	var names []string
 	for i := 1; i <= cs.Iterations; i++ {
@@ -525,6 +530,7 @@ func (r *runner) renderCinemaVariants(event int) {
 			Colormap: opts.Colormap, Lo: lo, Hi: hi,
 		})
 		png, err := viz.EncodePNG(img)
+		viz.ReleaseFrame(img)
 		if err != nil {
 			panic(fmt.Sprintf("core: cinema encode failed: %v", err))
 		}

@@ -47,15 +47,17 @@ func CharacterizeStages(n *node.Node, cfg AppConfig, events int) StageCharacteri
 	n.Idle(10)
 	inst.Profile.MarkPhase("idle", idleStart, n.Now())
 
-	// nnwrite: repeatedly create + write + fsync checkpoints.
+	// nnwrite: repeatedly create + write + fsync checkpoints, one
+	// encoder (and so one encode buffer) for the whole stage.
 	writeStart := n.Now()
 	var names []string
+	var enc checkpoint.Encoder
 	for i := 0; i < events; i++ {
 		name := fmt.Sprintf("stage-ckpt-%04d", i)
 		names = append(names, name)
 		f := n.FS.Create(name, cfg.CheckpointPolicy)
 		n.WithIO(func() {
-			checkpoint.Write(f, solver.Field(), solver.Steps(), solver.Time(), cfg.CheckpointPayload)
+			enc.Write(f, solver.Field(), solver.Steps(), solver.Time(), cfg.CheckpointPayload)
 			f.Fsync()
 		})
 	}

@@ -44,7 +44,7 @@ func (s *Suite) Ablations() Report {
 	} {
 		p := node.SandyBridge()
 		variant.mut(&p)
-		r := fio.Run(node.New(p, s.Seed+77), fio.RandWrite, fioCfg)
+		r := fio.Run(node.New(p, s.seedFor("ablations/a1/"+variant.name)), fio.RandWrite, fioCfg)
 		rows = append(rows, []string{variant.name, secs(r.ExecTime), kjoule(r.FullSystemEnergy)})
 	}
 	fmt.Fprintf(&b, "%s\n", table([]string{"Write path", "Time", "Energy"}, rows))
@@ -63,7 +63,7 @@ func (s *Suite) Ablations() Report {
 	} {
 		cfg := s.Config
 		cfg.InsituNoSync = variant.noSync
-		r := core.Run(s.newNode(), core.InSitu, cs, cfg)
+		r := core.Run(s.nodeFor("ablations/a2/"+variant.name), core.InSitu, cs, cfg)
 		rows = append(rows, []string{variant.name, secs(r.ExecTime), kjoule(r.Energy)})
 	}
 	fmt.Fprintf(&b, "%s\n", table([]string{"In-situ variant", "Time", "Energy"}, rows))
@@ -81,10 +81,10 @@ func (s *Suite) Ablations() Report {
 		{"HDD (paper platform)", node.SandyBridge()},
 		{"SSD (future work)", node.SandyBridgeSSD()},
 	} {
-		n := node.New(variant.profile, s.Seed+99)
+		n := node.New(variant.profile, s.seedFor("ablations/a3/"+variant.name+"/fio"))
 		rr := fio.Run(n, fio.RandRead, ssdFioCfg)
-		post := core.Run(node.New(variant.profile, s.Seed+100), core.PostProcessing, cs, s.Config)
-		ins := core.Run(node.New(variant.profile, s.Seed+101), core.InSitu, cs, s.Config)
+		post := core.Run(node.New(variant.profile, s.seedFor("ablations/a3/"+variant.name+"/post")), core.PostProcessing, cs, s.Config)
+		ins := core.Run(node.New(variant.profile, s.seedFor("ablations/a3/"+variant.name+"/insitu")), core.InSitu, cs, s.Config)
 		c := core.Compare(post, ins)
 		rows = append(rows, []string{
 			variant.name,

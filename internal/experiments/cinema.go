@@ -21,8 +21,7 @@ func (s *Suite) Cinema() Report {
 
 	cfg := s.Config
 	cfg.CinemaVariants = 4
-	s.seedCtr++
-	cinema := core.Run(s.newNode(), core.InSitu, cs, cfg)
+	cinema := core.Run(s.nodeFor("cinema/database"), core.InSitu, cs, cfg)
 
 	rows := [][]string{
 		{"post-processing (full exploration)", secs(post.ExecTime), kjoule(post.Energy), fmt.Sprintf("%d", post.Frames)},

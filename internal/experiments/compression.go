@@ -17,8 +17,7 @@ func (s *Suite) Compression() Report {
 
 	cfg := s.Config
 	cfg.CompressInsitu = true
-	s.seedCtr++
-	compressed := core.Run(s.newNode(), core.InSitu, cs, cfg)
+	compressed := core.Run(s.nodeFor("compression/compressed"), core.InSitu, cs, cfg)
 
 	rows := [][]string{
 		{"in-situ, raw payload", secs(base.ExecTime), kjoule(base.Energy), "-"},

@@ -26,10 +26,8 @@ func (s *Suite) Devices() Report {
 		{"NVRAM burst buffer + HDD", node.SandyBridgeNVRAM()},
 		{"SSD", node.SandyBridgeSSD()},
 	} {
-		s.seedCtr += 2
-		seedBase := s.Seed*1_000_003 + s.seedCtr*10_000
-		post := core.Run(node.New(variant.profile, seedBase), core.PostProcessing, cs, s.Config)
-		ins := core.Run(node.New(variant.profile, seedBase+1), core.InSitu, cs, s.Config)
+		post := core.Run(node.New(variant.profile, s.seedFor("devices/"+variant.name+"/post")), core.PostProcessing, cs, s.Config)
+		ins := core.Run(node.New(variant.profile, s.seedFor("devices/"+variant.name+"/insitu")), core.InSitu, cs, s.Config)
 		c := core.Compare(post, ins)
 		rows = append(rows, []string{
 			variant.name,

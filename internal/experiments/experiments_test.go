@@ -93,9 +93,9 @@ func TestFig10ReportsSavings(t *testing.T) {
 func TestTable2AndFig6ShareCharacterization(t *testing.T) {
 	s := lightSuite()
 	s.Table2()
-	sc := s.stageChar
+	sc := s.stages()
 	s.Fig6()
-	if s.stageChar != sc {
+	if s.stages() != sc {
 		t.Error("Fig6 re-ran the stage characterization")
 	}
 }

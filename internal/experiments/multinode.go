@@ -17,7 +17,7 @@ func (s *Suite) InTransit() Report {
 	post := s.run(core.PostProcessing, cs)
 	ins := s.run(core.InSitu, cs)
 
-	cluster := core.NewCluster(node.SandyBridge(), netio.TenGigE(), s.Seed+500)
+	cluster := core.NewCluster(node.SandyBridge(), netio.TenGigE(), s.seedFor("intransit/cluster"))
 	it := core.RunInTransit(cluster, cs, s.Config)
 
 	var b strings.Builder

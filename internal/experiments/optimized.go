@@ -51,8 +51,7 @@ func (s *Suite) Optimized() Report {
 		{"post-processing (vanilla)", secs(base.Post.ExecTime), kjoule(base.Post.Energy), "-"},
 	}
 	for _, v := range variants {
-		s.seedCtr++
-		n := node.New(v.prof(), s.Seed*1_000_003+s.seedCtr*7_777)
+		n := node.New(v.prof(), s.seedFor("optimized/"+v.name))
 		r := core.Run(n, core.PostProcessing, cs, v.cfg(s.Config))
 		saved := float64(base.Post.Energy-r.Energy) / float64(base.Post.Energy) * 100
 		rows = append(rows, []string{v.name, secs(r.ExecTime), kjoule(r.Energy), pct(saved)})

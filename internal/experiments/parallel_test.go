@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// tinySuite is an even lighter configuration than lightSuite for tests
+// that execute the whole registry more than once.
+func tinySuite() *Suite {
+	cfg := core.DefaultAppConfig()
+	cfg.RealSubsteps = 4
+	s := NewSuite(11, &cfg)
+	s.Fio.FileSize = 64 * units.MiB
+	return s
+}
+
+// TestRunAllDeterministicAcrossWorkers is the parallelism regression
+// test: the same seed must yield byte-identical report bodies whether
+// the suite runs serially or on eight workers.
+func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry twice")
+	}
+	if raceEnabled {
+		t.Skip("full registry passes are infeasible under race instrumentation; TestConcurrentComparisonFigures covers the concurrent paths")
+	}
+	ctx := context.Background()
+	serial, err := tinySuite().RunAll(ctx, 1)
+	if err != nil {
+		t.Fatalf("serial RunAll: %v", err)
+	}
+	ps := tinySuite()
+	parallel, err := ps.RunAll(ctx, 8)
+	if err != nil {
+		t.Fatalf("parallel RunAll: %v", err)
+	}
+	// Singleflight under real concurrency: the comparison figures must
+	// have produced exactly the six shared pipeline runs.
+	if got := len(ps.runs); got != 6 {
+		t.Errorf("shared run cache holds %d entries, want 6 (2 pipelines x 3 cases)", got)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("report counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	reg := Registry()
+	for i := range serial {
+		if serial[i].ID != reg[i].ID || parallel[i].ID != reg[i].ID {
+			t.Errorf("report %d out of registry order: %q / %q, want %q",
+				i, serial[i].ID, parallel[i].ID, reg[i].ID)
+		}
+		if serial[i].Body != parallel[i].Body {
+			t.Errorf("experiment %q: workers=1 and workers=8 bodies differ", serial[i].ID)
+		}
+		// The per-experiment timing the CLI footer prints is filled in.
+		if parallel[i].Wall < 0 || parallel[i].Wall > time.Hour {
+			t.Errorf("experiment %q wall time %v implausible", parallel[i].ID, parallel[i].Wall)
+		}
+	}
+}
+
+// TestRunAllCancellation verifies a cancelled context stops dispatch
+// and is reported.
+func TestRunAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reports, err := tinySuite().RunAll(ctx, 2)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(reports) != len(Registry()) {
+		t.Fatalf("partial results slice has %d slots, want %d", len(reports), len(Registry()))
+	}
+}
+
+// TestSeedForStableAcrossOrder pins the order-independence property the
+// suite relies on: the seed for a key must not depend on which other
+// experiments ran first.
+func TestSeedForStableAcrossOrder(t *testing.T) {
+	a := lightSuite()
+	a.Fig7() // populate caches in one order
+	b := lightSuite()
+	b.Table3() // ... and another
+	for _, key := range []string{"run/post/cs1", "fio/table3", "sampling/k=2"} {
+		if a.seedFor(key) != b.seedFor(key) {
+			t.Errorf("seedFor(%q) depends on execution order", key)
+		}
+	}
+}
+
+// TestConcurrentComparisonFigures hammers the singleflight cache from
+// eight goroutines requesting the figures that share pipeline runs,
+// then checks each run executed exactly once and the bodies match a
+// serial suite. This is the concurrency test that stays cheap enough
+// for the race detector.
+func TestConcurrentComparisonFigures(t *testing.T) {
+	figures := []Experiment{}
+	for _, e := range Registry() {
+		switch e.ID {
+		case "fig7", "fig8", "fig9", "fig10", "fig11":
+			figures = append(figures, e)
+		}
+	}
+	s := tinySuite()
+	var wg sync.WaitGroup
+	got := make([]Report, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = figures[i%len(figures)].Run(s)
+		}(i)
+	}
+	wg.Wait()
+	if len(s.runs) != 6 {
+		t.Errorf("concurrent figures produced %d cached runs, want 6", len(s.runs))
+	}
+	serial := tinySuite()
+	for i, r := range got {
+		want := figures[i%len(figures)].Run(serial)
+		if r.Body != want.Body {
+			t.Errorf("%s: concurrent body differs from serial", r.ID)
+		}
+	}
+}

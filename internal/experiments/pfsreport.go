@@ -19,9 +19,8 @@ func (s *Suite) PFS() Report {
 	localPost := s.run(core.PostProcessing, cs)
 	ins := s.run(core.InSitu, cs)
 
-	s.seedCtr++
-	client := node.New(node.SandyBridge(), s.Seed*1_000_003+s.seedCtr*31_337)
-	fsys := pfs.New(client, pfs.DefaultParams(), s.Seed+900)
+	client := node.New(node.SandyBridge(), s.seedFor("pfs/client"))
+	fsys := pfs.New(client, pfs.DefaultParams(), s.seedFor("pfs/servers"))
 	cfg := s.Config
 	cfg.Store = pfs.NewStore(fsys)
 	remote := core.Run(client, core.PostProcessing, cs, cfg)

@@ -27,10 +27,8 @@ func (s *Suite) PowerCap() Report {
 		}
 		p := node.SandyBridge()
 		p.PackagePowerCap = cap
-		s.seedCtr += 2
-		seedBase := s.Seed*1_000_003 + s.seedCtr*41_117
-		post := core.Run(node.New(p, seedBase), core.PostProcessing, cs, s.Config)
-		ins := core.Run(node.New(p, seedBase+1), core.InSitu, cs, s.Config)
+		post := core.Run(node.New(p, s.seedFor("powercap/"+label+"/post")), core.PostProcessing, cs, s.Config)
+		ins := core.Run(node.New(p, s.seedFor("powercap/"+label+"/insitu")), core.InSitu, cs, s.Config)
 		c := core.Compare(post, ins)
 		rows = append(rows, []string{
 			label,

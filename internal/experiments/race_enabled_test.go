@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets tests whose workload is infeasible under race
+// instrumentation (full registry passes) hand off to cheaper
+// concurrency tests.
+const raceEnabled = true

@@ -38,7 +38,7 @@ func kjoule(v units.Joules) string { return fmt.Sprintf("%.1f KJ", v.KJ()) }
 
 // Table1 echoes the platform specification.
 func (s *Suite) Table1() Report {
-	n := s.newNode()
+	n := s.nodeFor("table1/spec")
 	rows := make([][]string, 0, 8)
 	for _, r := range n.Spec() {
 		rows = append(rows, []string{r.Item, r.Value})
@@ -265,7 +265,7 @@ func (s *Suite) Hypothetical() Report {
 	randomTotal := res[1].FullSystemEnergy + res[3].FullSystemEnergy
 	seqTotal := res[0].FullSystemEnergy + res[2].FullSystemEnergy
 
-	n := s.newNode()
+	n := s.nodeFor("hypothetical/advisor")
 	w := core.WorkloadSpec{
 		Name:           "random-I/O application",
 		ReadBytes:      4 * units.GiB,

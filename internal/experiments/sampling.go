@@ -32,8 +32,7 @@ func (s *Suite) Sampling() Report {
 	for _, k := range []int{1, 2, 4, 8} {
 		cfg := s.Config
 		cfg.InsituPayload = cfg.InsituPayload / units.Bytes(k*k)
-		s.seedCtr++
-		r := core.Run(s.newNode(), core.InSitu, cs, cfg)
+		r := core.Run(s.nodeFor(fmt.Sprintf("sampling/k=%d", k)), core.InSitu, cs, cfg)
 
 		img, _ := viz.Render(viz.Downsample(solver.Field(), k), refOpts)
 		psnr := viz.PSNR(ref, img)

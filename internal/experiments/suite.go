@@ -2,16 +2,22 @@
 // paper's evaluation: one driver per artifact, each returning a Report
 // whose body prints the same rows or series the paper shows. A Suite
 // caches pipeline runs so figures that share runs (Figs. 5 and 7-11)
-// don't recompute them.
+// don't recompute them, and is safe for concurrent use: RunAll fans
+// the drivers out across a worker pool while singleflight caching
+// guarantees each shared run still executes exactly once.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fio"
 	"repro/internal/node"
+	"repro/internal/xrand"
 )
 
 // Report is one regenerated artifact.
@@ -21,19 +27,37 @@ type Report struct {
 	Body  string
 }
 
+// cell is a singleflight cache slot: the first caller computes the
+// value under its own Once while later callers block on the same
+// computation and share the result.
+type cell[T any] struct {
+	once sync.Once
+	v    T
+}
+
+func (c *cell[T]) get(compute func() T) T {
+	c.once.Do(func() { c.v = compute() })
+	return c.v
+}
+
 // Suite lazily executes and caches the runs the experiments share.
-// A suite is deterministic in (Seed, Config); it is not safe for
-// concurrent use.
+//
+// A suite is deterministic in (Seed, Config) and safe for concurrent
+// use: drivers may run on any number of goroutines, and every seed a
+// driver consumes is derived from Suite.Seed and a stable string key
+// (xrand.SeedFor), never from execution order — so reports are
+// byte-identical whether the suite runs serially or on eight workers.
+// Mutate the exported fields only before the first driver runs.
 type Suite struct {
 	Seed   uint64
 	Config core.AppConfig
 	// Fio configures the Table III runs (default: the paper's 4 GiB).
 	Fio fio.Config
 
-	runs      map[string]*core.RunResult
-	fioOut    []fio.Result
-	stageChar *core.StageCharacterization
-	seedCtr   uint64
+	mu        sync.Mutex
+	runs      map[string]*cell[*core.RunResult]
+	fioOut    cell[[]fio.Result]
+	stageChar cell[*core.StageCharacterization]
 }
 
 // NewSuite creates a suite. Config's zero value selects the default
@@ -43,26 +67,35 @@ func NewSuite(seed uint64, cfg *core.AppConfig) *Suite {
 	if cfg != nil {
 		c = *cfg
 	}
-	return &Suite{Seed: seed, Config: c, Fio: fio.DefaultConfig(), runs: map[string]*core.RunResult{}}
+	return &Suite{Seed: seed, Config: c, Fio: fio.DefaultConfig(), runs: map[string]*cell[*core.RunResult]{}}
 }
 
-// newNode builds a fresh node with a per-use derived seed so repeated
-// experiments never share stochastic streams, yet the whole suite is
-// reproducible from Suite.Seed.
-func (s *Suite) newNode() *node.Node {
-	s.seedCtr++
-	return node.New(node.SandyBridge(), s.Seed*1_000_003+s.seedCtr)
+// seedFor derives the stream seed for a named component. Equal
+// (Suite.Seed, key) pairs always yield the same seed, regardless of
+// which experiments ran before or on how many workers.
+func (s *Suite) seedFor(key string) uint64 { return xrand.SeedFor(s.Seed, key) }
+
+// nodeFor builds a fresh paper-platform node whose stochastic streams
+// are keyed by name, so repeated experiments never share streams yet
+// the whole suite is reproducible from Suite.Seed alone.
+func (s *Suite) nodeFor(key string) *node.Node {
+	return node.New(node.SandyBridge(), s.seedFor(key))
 }
 
-// run returns the cached pipeline run, executing it on first use.
+// run returns the cached pipeline run, executing it exactly once on
+// first use even when several figures request it concurrently.
 func (s *Suite) run(p core.Pipeline, cs core.CaseStudy) *core.RunResult {
 	key := fmt.Sprintf("%s/%s", p, cs.Name)
-	if r, ok := s.runs[key]; ok {
-		return r
+	s.mu.Lock()
+	c, ok := s.runs[key]
+	if !ok {
+		c = &cell[*core.RunResult]{}
+		s.runs[key] = c
 	}
-	r := core.Run(s.newNode(), p, cs, s.Config)
-	s.runs[key] = r
-	return r
+	s.mu.Unlock()
+	return c.get(func() *core.RunResult {
+		return core.Run(s.nodeFor("run/"+key), p, cs, s.Config)
+	})
 }
 
 // comparison returns the post/in-situ pair for case study index i.
@@ -87,19 +120,17 @@ func (s *Suite) comparisons() []core.Comparison {
 
 // fioResults returns the cached Table III runs.
 func (s *Suite) fioResults() []fio.Result {
-	if s.fioOut == nil {
-		s.fioOut = fio.RunAll(s.newNode(), s.Fio)
-	}
-	return s.fioOut
+	return s.fioOut.get(func() []fio.Result {
+		return fio.RunAll(s.nodeFor("fio/table3"), s.Fio)
+	})
 }
 
 // stages returns the cached Table II / Fig. 6 characterization.
 func (s *Suite) stages() *core.StageCharacterization {
-	if s.stageChar == nil {
-		sc := core.CharacterizeStages(s.newNode(), s.Config, 10)
-		s.stageChar = &sc
-	}
-	return s.stageChar
+	return s.stageChar.get(func() *core.StageCharacterization {
+		sc := core.CharacterizeStages(s.nodeFor("stages/characterization"), s.Config, 10)
+		return &sc
+	})
 }
 
 // Experiment pairs an ID with its driver.
@@ -148,4 +179,53 @@ func ByID(id string) (Experiment, error) {
 	}
 	sort.Strings(ids)
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (valid: %v)", id, ids)
+}
+
+// Timed is a regenerated artifact plus the wall-clock time its driver
+// took (including any shared runs it was first to trigger).
+type Timed struct {
+	Report
+	Wall time.Duration
+}
+
+// RunAll regenerates every registered experiment, running up to
+// workers drivers concurrently (workers < 1 selects one per
+// experiment), and returns the reports in registry order. The reports
+// are independent of workers: shared runs are deduplicated and every
+// seed is derived by key, so the bodies are byte-identical at any
+// parallelism. Cancelling ctx stops scheduling new drivers; already
+// running drivers finish, and the partial results are returned
+// alongside ctx's error.
+func (s *Suite) RunAll(ctx context.Context, workers int) ([]Timed, error) {
+	reg := Registry()
+	if workers < 1 || workers > len(reg) {
+		workers = len(reg)
+	}
+	out := make([]Timed, len(reg))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				r := reg[i].Run(s)
+				out[i] = Timed{Report: r, Wall: time.Since(start)}
+			}
+		}()
+	}
+	var err error
+dispatch:
+	for i := range reg {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out, err
 }

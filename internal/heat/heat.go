@@ -8,9 +8,8 @@ package heat
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"repro/internal/bandpool"
 	"repro/internal/field"
 )
 
@@ -67,7 +66,8 @@ type Params struct {
 	BoundaryTemp float64
 	// InitialTemp fills the interior at start.
 	InitialTemp float64
-	// Workers is the goroutine count for a step; 0 means GOMAXPROCS.
+	// Workers sizes the solver's persistent band pool; 0 means
+	// GOMAXPROCS.
 	Workers int
 	Sources []Source
 }
@@ -92,12 +92,14 @@ func StabilityLimit(alpha, dx, dy float64) float64 {
 	return (dx * dx * dy * dy) / (2 * alpha * (dx*dx + dy*dy))
 }
 
-// Solver advances the heat equation.
+// Solver advances the heat equation. Each solver owns a persistent
+// band-worker pool (see internal/bandpool), so stepping never spawns
+// goroutines; distinct solvers may step concurrently.
 type Solver struct {
 	params    Params
 	cur, next *Grid
 	steps     uint64
-	workers   int
+	pool      *bandpool.Pool
 }
 
 // NewSolver builds a solver, validating parameters and applying the
@@ -116,10 +118,6 @@ func NewSolver(p Params) *Solver {
 	if p.DT > limit {
 		panic(fmt.Sprintf("heat: dt %g exceeds FTCS stability limit %g", p.DT, limit))
 	}
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	for _, s := range p.Sources {
 		if s.X0 < 0 || s.Y0 < 0 || s.X1 > p.NX || s.Y1 > p.NY || s.X0 >= s.X1 || s.Y0 >= s.Y1 {
 			panic(fmt.Sprintf("heat: source %+v outside %dx%d grid", s, p.NX, p.NY))
@@ -128,7 +126,7 @@ func NewSolver(p Params) *Solver {
 			panic(fmt.Sprintf("heat: pulsed source duty %v outside (0,1]", s.Duty))
 		}
 	}
-	s := &Solver{params: p, cur: NewGrid(p.NX, p.NY), next: NewGrid(p.NX, p.NY), workers: workers}
+	s := &Solver{params: p, cur: NewGrid(p.NX, p.NY), next: NewGrid(p.NX, p.NY), pool: bandpool.New(p.Workers)}
 	s.cur.Fill(p.InitialTemp)
 	s.applyBoundary(s.cur)
 	s.applySources(s.cur)
@@ -207,34 +205,19 @@ func (s *Solver) stepOnce() {
 	cur, next := s.cur, s.next
 	nx, ny := p.NX, p.NY
 
-	bandRows := (ny - 2 + s.workers - 1) / s.workers
-	var wg sync.WaitGroup
-	for w := 0; w < s.workers; w++ {
-		y0 := 1 + w*bandRows
-		y1 := y0 + bandRows
-		if y1 > ny-1 {
-			y1 = ny - 1
-		}
-		if y0 >= y1 {
-			break
-		}
-		wg.Add(1)
-		go func(y0, y1 int) {
-			defer wg.Done()
-			for y := y0; y < y1; y++ {
-				c := cur.Data[y*nx : (y+1)*nx]
-				up := cur.Data[(y-1)*nx : y*nx]
-				down := cur.Data[(y+1)*nx : (y+2)*nx]
-				out := next.Data[y*nx : (y+1)*nx]
-				for x := 1; x < nx-1; x++ {
-					out[x] = c[x] +
-						rx*(c[x-1]-2*c[x]+c[x+1]) +
-						ry*(up[x]-2*c[x]+down[x])
-				}
+	s.pool.Run(1, ny-1, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			c := cur.Data[y*nx : (y+1)*nx]
+			up := cur.Data[(y-1)*nx : y*nx]
+			down := cur.Data[(y+1)*nx : (y+2)*nx]
+			out := next.Data[y*nx : (y+1)*nx]
+			for x := 1; x < nx-1; x++ {
+				out[x] = c[x] +
+					rx*(c[x-1]-2*c[x]+c[x+1]) +
+					ry*(up[x]-2*c[x]+down[x])
 			}
-		}(y0, y1)
-	}
-	wg.Wait()
+		}
+	})
 
 	s.cur, s.next = next, cur
 	s.applyBoundary(s.cur)

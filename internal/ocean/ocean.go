@@ -14,9 +14,8 @@ package ocean
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"repro/internal/bandpool"
 	"repro/internal/field"
 )
 
@@ -31,7 +30,8 @@ type Params struct {
 	Coriolis float64
 	// Drops are initial Gaussian height perturbations.
 	Drops []Drop
-	// Workers is the goroutine count per step; 0 means GOMAXPROCS.
+	// Workers sizes the solver's persistent band pool; 0 means
+	// GOMAXPROCS.
 	Workers int
 }
 
@@ -64,13 +64,15 @@ func CFLLimit(p Params) float64 {
 	return h / (c * math.Sqrt2)
 }
 
-// Solver advances the shallow-water equations.
+// Solver advances the shallow-water equations. Like the heat solver it
+// owns a persistent band-worker pool, so stepping never spawns
+// goroutines; distinct solvers may step concurrently.
 type Solver struct {
 	params     Params
 	h, u, v    *field.Grid // height anomaly and velocities
 	nh, nu, nv *field.Grid
 	steps      uint64
-	workers    int
+	pool       *bandpool.Pool
 }
 
 // NewSolver validates parameters and applies the initial condition.
@@ -88,15 +90,11 @@ func NewSolver(p Params) *Solver {
 	if p.DT > limit {
 		panic(fmt.Sprintf("ocean: dt %g exceeds CFL limit %g", p.DT, limit))
 	}
-	workers := p.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	s := &Solver{
 		params: p,
 		h:      field.New(p.NX, p.NY), u: field.New(p.NX, p.NY), v: field.New(p.NX, p.NY),
 		nh: field.New(p.NX, p.NY), nu: field.New(p.NX, p.NY), nv: field.New(p.NX, p.NY),
-		workers: workers,
+		pool: bandpool.New(p.Workers),
 	}
 	for _, d := range p.Drops {
 		s.applyDrop(d)
@@ -190,26 +188,7 @@ func (s *Solver) stepOnce() {
 	// the old height, then update height from the *new* momentum. The
 	// naive simultaneous update is unconditionally unstable for wave
 	// systems; this variant is stable under the CFL limit.
-	parallelRows := func(fn func(y0, y1 int)) {
-		bandRows := (ny - 2 + s.workers - 1) / s.workers
-		var wg sync.WaitGroup
-		for w := 0; w < s.workers; w++ {
-			y0 := 1 + w*bandRows
-			y1 := y0 + bandRows
-			if y1 > ny-1 {
-				y1 = ny - 1
-			}
-			if y0 >= y1 {
-				break
-			}
-			wg.Add(1)
-			go func(y0, y1 int) {
-				defer wg.Done()
-				fn(y0, y1)
-			}(y0, y1)
-		}
-		wg.Wait()
-	}
+	parallelRows := func(fn func(y0, y1 int)) { s.pool.Run(1, ny-1, fn) }
 
 	// Pass 1: momentum from the height gradient (+ Coriolis).
 	parallelRows(func(y0, y1 int) {

@@ -11,9 +11,13 @@ import (
 
 // Store adapts the parallel filesystem to core.CheckpointStore, so the
 // post-processing pipeline can be pointed at remote storage with
-// cfg.Store = pfs.NewStore(fs).
+// cfg.Store = pfs.NewStore(fs). It reuses one encode buffer across
+// checkpoint events (WriteFile copies the prefix it keeps), so like
+// the filesystem's client node it serves one run at a time.
 type Store struct {
-	fs *FileSystem
+	fs  *FileSystem
+	enc checkpoint.Encoder
+	buf []byte
 }
 
 // NewStore wraps a filesystem.
@@ -24,9 +28,9 @@ var _ core.CheckpointStore = (*Store)(nil)
 // WriteCheckpoint stripes one checkpoint across the servers: the real
 // header+field prefix plus the sparse history payload.
 func (s *Store) WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes) {
-	prefix := checkpoint.EncodePrefix(g, step, simTime, payload)
-	total := units.Bytes(len(prefix)) + payload
-	s.fs.WriteFile(name, prefix, total)
+	s.buf = s.enc.EncodeTo(s.buf[:0], g, step, simTime, payload)
+	total := units.Bytes(len(s.buf)) + payload
+	s.fs.WriteFile(name, s.buf, total)
 }
 
 // ReadCheckpoint fetches one back and validates its CRC.

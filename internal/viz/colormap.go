@@ -62,10 +62,11 @@ func lerp8(a, b uint8, f float64) uint8 {
 	return uint8(float64(a) + f*(float64(b)-float64(a)) + 0.5)
 }
 
-// Inferno returns a perceptually-ordered dark-to-bright map suited to
-// temperature fields.
-func Inferno() *Colormap {
-	return NewColormap("inferno",
+// The built-in maps are immutable after construction, so the
+// constructors hand out shared instances: renders are per-frame hot
+// paths and must not rebuild the control-point tables every call.
+var (
+	infernoMap = NewColormap("inferno",
 		[]float64{0, 0.25, 0.5, 0.75, 1},
 		[]color.RGBA{
 			{0, 0, 4, 255},
@@ -74,26 +75,28 @@ func Inferno() *Colormap {
 			{249, 142, 9, 255},
 			{252, 255, 164, 255},
 		})
-}
-
-// CoolWarm returns the diverging blue-white-red map used for signed
-// anomalies.
-func CoolWarm() *Colormap {
-	return NewColormap("coolwarm",
+	coolwarmMap = NewColormap("coolwarm",
 		[]float64{0, 0.5, 1},
 		[]color.RGBA{
 			{59, 76, 192, 255},
 			{221, 221, 221, 255},
 			{180, 4, 38, 255},
 		})
-}
-
-// Grayscale returns a linear black-to-white ramp.
-func Grayscale() *Colormap {
-	return NewColormap("gray",
+	grayMap = NewColormap("gray",
 		[]float64{0, 1},
 		[]color.RGBA{{0, 0, 0, 255}, {255, 255, 255, 255}})
-}
+)
+
+// Inferno returns a perceptually-ordered dark-to-bright map suited to
+// temperature fields.
+func Inferno() *Colormap { return infernoMap }
+
+// CoolWarm returns the diverging blue-white-red map used for signed
+// anomalies.
+func CoolWarm() *Colormap { return coolwarmMap }
+
+// Grayscale returns a linear black-to-white ramp.
+func Grayscale() *Colormap { return grayMap }
 
 // ByName looks up a built-in colormap.
 func ByName(name string) (*Colormap, error) {

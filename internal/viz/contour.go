@@ -11,7 +11,14 @@ type Segment struct {
 // level as line segments, returning the segments and the number of
 // cells visited (the stage's work unit).
 func MarchingSquares(g *heat.Grid, level float64) ([]Segment, int) {
-	var segs []Segment
+	return MarchingSquaresInto(nil, g, level)
+}
+
+// MarchingSquaresInto is MarchingSquares appending into dst, letting
+// render loops reuse one segment buffer across frames instead of
+// growing a fresh slice per isoline.
+func MarchingSquaresInto(dst []Segment, g *heat.Grid, level float64) ([]Segment, int) {
+	segs := dst
 	cells := 0
 	for y := 0; y < g.NY-1; y++ {
 		for x := 0; x < g.NX-1; x++ {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package viz
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package viz
+
+// raceEnabled gates assertions that depend on sync.Pool actually
+// retaining items; the race-mode runtime drops Puts at random to
+// expose misuse, so identity-reuse checks are meaningless there.
+const raceEnabled = true

@@ -4,9 +4,53 @@ import (
 	"fmt"
 	"image"
 	"image/color"
+	"sync"
 
 	"repro/internal/heat"
 )
+
+// framePool recycles output rasters between frames and segPool the
+// marching-squares scratch: pipelines render hundreds of frames of one
+// geometry, so steady-state rendering should not allocate. sync.Pool
+// keeps the reuse safe when several pipelines render concurrently.
+var (
+	framePool sync.Pool
+	segPool   sync.Pool
+)
+
+// acquireRGBA returns a w×h raster, reusing a pooled one when the
+// geometry matches. Render overwrites every base pixel, so pooled
+// rasters need no clearing.
+func acquireRGBA(w, h int) *image.RGBA {
+	if v := framePool.Get(); v != nil {
+		img := v.(*image.RGBA)
+		if img.Rect.Dx() == w && img.Rect.Dy() == h {
+			return img
+		}
+	}
+	return image.NewRGBA(image.Rect(0, 0, w, h))
+}
+
+// ReleaseFrame returns a raster obtained from Render to the frame pool
+// once its pixels are no longer needed (typically after PNG encoding).
+// The caller must not use img afterwards. Releasing is optional —
+// unreleased frames are simply garbage-collected.
+func ReleaseFrame(img *image.RGBA) {
+	if img != nil {
+		framePool.Put(img)
+	}
+}
+
+// acquireSegs hands out the marching-squares scratch as a pointer so
+// putting it back doesn't re-box the slice header each frame.
+func acquireSegs() *[]Segment {
+	if v := segPool.Get(); v != nil {
+		return v.(*[]Segment)
+	}
+	return new([]Segment)
+}
+
+func releaseSegs(segs *[]Segment) { segPool.Put(segs) }
 
 // RenderOptions configures a frame render.
 type RenderOptions struct {
@@ -38,7 +82,9 @@ type RenderStats struct {
 }
 
 // Render rasterizes the field: bilinear resampling to Width×Height,
-// colormap application, optional isoline overlay.
+// colormap application, optional isoline overlay. The returned raster
+// may come from the frame pool; hand it back with ReleaseFrame when
+// done to keep steady-state rendering allocation-free.
 func Render(g *heat.Grid, opts RenderOptions) (*image.RGBA, RenderStats) {
 	if opts.Width <= 0 || opts.Height <= 0 {
 		panic(fmt.Sprintf("viz: render size %dx%d must be positive", opts.Width, opts.Height))
@@ -56,7 +102,7 @@ func Render(g *heat.Grid, opts RenderOptions) (*image.RGBA, RenderStats) {
 	}
 	inv := 1 / (hi - lo)
 
-	img := image.NewRGBA(image.Rect(0, 0, opts.Width, opts.Height))
+	img := acquireRGBA(opts.Width, opts.Height)
 	var stats RenderStats
 	sx := float64(g.NX-1) / float64(max(opts.Width-1, 1))
 	sy := float64(g.NY-1) / float64(max(opts.Height-1, 1))
@@ -87,8 +133,10 @@ func Render(g *heat.Grid, opts RenderOptions) (*image.RGBA, RenderStats) {
 	if lineColor.A == 0 {
 		lineColor = color.RGBA{255, 255, 255, 255}
 	}
+	scratch := acquireSegs()
 	for _, level := range opts.Isolines {
-		segs, cells := MarchingSquares(g, level)
+		segs, cells := MarchingSquaresInto((*scratch)[:0], g, level)
+		*scratch = segs
 		stats.ContourCells += cells
 		stats.Segments += len(segs)
 		scaleX := float64(opts.Width-1) / float64(g.NX-1)
@@ -100,6 +148,7 @@ func Render(g *heat.Grid, opts RenderOptions) (*image.RGBA, RenderStats) {
 				lineColor)
 		}
 	}
+	releaseSegs(scratch)
 	return img, stats
 }
 

@@ -37,6 +37,28 @@ func New(seed uint64) *Rand {
 // Use it to hand uncorrelated streams to sub-components.
 func (r *Rand) Split() *Rand { return New(r.Uint64()) }
 
+// SeedFor derives a stream seed from a master seed and a string key:
+// an FNV-1a hash of the key is mixed into the master through the
+// SplitMix64 finalizer. The derivation depends only on (master, key),
+// never on call order, so components seeded by name stay bit-identical
+// no matter how many sibling streams exist or in what order they are
+// created — the property the parallel experiment suite relies on.
+func SeedFor(master uint64, key string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	z := master ^ (h + 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

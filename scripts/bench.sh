@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench.sh — run the PR-1 benchmark set and record a JSON summary.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Runs the hot-path micro-benchmarks (render, checkpoint encode) and
+# the serial-vs-parallel full-suite pair with -benchmem, then converts
+# the `go test` output into BENCH_pr1.json: one object per benchmark
+# with ns/op, B/op, and allocs/op. Host details (cores, GOMAXPROCS)
+# are recorded so single-core runs are not mistaken for regressions.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr1.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+    -bench '^(BenchmarkRender|BenchmarkCheckpointEncode|BenchmarkSuiteAllSerial|BenchmarkSuiteAllParallel)$' \
+    -benchmem -benchtime "${BENCHTIME:-1x}" -count "${COUNT:-1}" . | tee "$raw"
+
+awk -v ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i-1)
+        if ($(i) == "B/op")      bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    lines[n++] = line
+}
+/^cpu:/ { $1 = ""; sub(/^ /, ""); cpu = $0 }
+END {
+    print "{"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cores\": %s,\n", (ncpu == "" ? 0 : ncpu)
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    print "  ]"
+    print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"
