@@ -8,18 +8,20 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full pre-merge gate: formatting, vet, build, and the
-# test suite under the race detector.
+# check is the full pre-merge gate: formatting, vet, build, the test
+# suite under the race detector, and a short fuzz pass over the
+# checkpoint decoder (seeds plus 10s of mutation).
 check:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -timeout 45m ./...
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodePrefix$$' -fuzztime 10s ./internal/checkpoint
 
-# bench records the PR-1 benchmark set into BENCH_pr1.json.
+# bench records the benchmark set into BENCH_pr2.json.
 bench:
 	scripts/bench.sh
 
 clean:
-	rm -f greenviz BENCH_pr1.json
+	rm -f greenviz BENCH_pr1.json BENCH_pr2.json

@@ -217,8 +217,8 @@ func benchSuiteAll(b *testing.B, workers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(reports) != 22 {
-			b.Fatalf("got %d reports, want 22", len(reports))
+		if len(reports) != 23 {
+			b.Fatalf("got %d reports, want 23", len(reports))
 		}
 	}
 }

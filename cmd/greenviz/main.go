@@ -42,6 +42,7 @@ func main() {
 		fioGiB       = flag.Int("fio-gib", 4, "fio test file size in GiB (Table III uses 4)")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment drivers for -experiment all")
 		csvDir       = flag.String("csv", "", "directory to dump case-study power profiles as CSV")
+		faults       = flag.String("faults", "", "inject storage faults: comma-separated bitrot=,readerr=,writeerr=,latency=,drop= (probabilities), spike=,timeout= (seconds), seed= — empty disables injection (byte-identical output)")
 
 		pipeline  = flag.String("pipeline", "", "run one pipeline instead of an experiment: post, insitu, intransit")
 		app       = flag.String("app", "heat", "proxy application: heat, ocean")
@@ -51,8 +52,14 @@ func main() {
 	)
 	flag.Parse()
 
+	faultCfg, err := greenviz.ParseFaultSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *pipeline != "" {
-		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *framesDir); err != nil {
+		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *framesDir, faultCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
 			os.Exit(1)
 		}
@@ -77,6 +84,10 @@ func main() {
 		}
 		cfg.RealSubsteps = *realSubsteps
 	}
+	// A -faults spec applies to every pipeline run the experiments
+	// perform; left empty, all report bodies are byte-identical to a
+	// fault-free build.
+	cfg.Faults = faultCfg
 	suite := greenviz.NewSuite(*seed, &cfg)
 	suite.Fio.FileSize = units.Bytes(*fioGiB) * units.GiB
 

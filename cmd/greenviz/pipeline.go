@@ -10,7 +10,7 @@ import (
 
 // runPipeline executes one explicit pipeline configuration (the CLI's
 // -pipeline mode) and prints its measurements.
-func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSubsteps int, framesDir string) error {
+func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSubsteps int, framesDir string, faults *greenviz.FaultConfig) error {
 	var platform greenviz.Platform
 	switch device {
 	case "hdd", "":
@@ -38,6 +38,7 @@ func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSub
 		cfg.RealSubsteps = realSubsteps
 	}
 	cfg.RetainFrames = framesDir != ""
+	cfg.Faults = faults
 	switch app {
 	case "heat", "":
 	case "ocean":
@@ -90,10 +91,18 @@ func printRun(r *greenviz.Result, framesDir string) {
 	fmt.Printf("  peak power      %12s\n", r.PeakPower)
 	fmt.Printf("  energy          %12s\n", r.Energy)
 	fmt.Printf("  frames          %12d (checksum %016x)\n", r.Frames, r.FrameChecksum)
-	for _, st := range []string{"simulation", "nnwrite", "nnread", "visualization"} {
+	for _, st := range []string{"simulation", "nnwrite", "nnread", "visualization", "recovery"} {
 		if d, ok := r.StageTime[st]; ok {
 			fmt.Printf("  stage %-13s %8.1f s (%.0f%%)\n", st, float64(d), float64(d)/float64(r.ExecTime)*100)
 		}
+	}
+	if r.Faults.Total() > 0 || r.Recovery.Total() > 0 {
+		fmt.Printf("  faults injected %12d (%d bit-rot, %d read, %d write, %d spikes, %d drops)\n",
+			r.Faults.Total(), r.Faults.BitRots, r.Faults.ReadErrors, r.Faults.WriteErrors,
+			r.Faults.LatencySpikes, r.Faults.ServerDrops)
+		fmt.Printf("  recovery        %12d retries, %d re-simulated frames, %d lost writes, %.1f s backoff\n",
+			r.Recovery.WriteRetries+r.Recovery.ReadRetries, r.Recovery.Resimulations,
+			r.Recovery.LostWrites, float64(r.Recovery.BackoffTime))
 	}
 	if framesDir != "" {
 		if err := os.MkdirAll(framesDir, 0o755); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/fio"
 	"repro/internal/heat"
@@ -221,6 +222,31 @@ func NewPFS(client *Node, params PFSParams, seed uint64) *PFS {
 
 // NewPFSStore adapts a parallel filesystem to Config.Store.
 func NewPFSStore(fs *PFS) CheckpointStore { return pfs.NewStore(fs) }
+
+// FaultConfig sets the per-operation storage fault rates for a run
+// (set Config.Faults). The zero value — and a nil Config.Faults —
+// disables injection entirely, leaving all outputs byte-identical to a
+// fault-free build.
+type FaultConfig = fault.Config
+
+// FaultStats counts the injected faults a run absorbed
+// (Result.Faults).
+type FaultStats = fault.Stats
+
+// RecoveryStats accounts the retries, re-simulations, and backoff a
+// run spent absorbing faults (Result.Recovery).
+type RecoveryStats = core.RecoveryStats
+
+// RetryPolicy bounds the recovery from transient storage errors
+// (Config.Retry); its zero value means 3 attempts with a 0.5 s initial
+// simulated-time backoff.
+type RetryPolicy = core.RetryPolicy
+
+// ParseFaultSpec parses the CLI's -faults syntax: comma-separated
+// key=value pairs among bitrot, readerr, writeerr, latency, drop
+// (probabilities), spike, timeout (seconds), and seed. An empty spec
+// returns (nil, nil): injection off.
+func ParseFaultSpec(spec string) (*FaultConfig, error) { return fault.ParseSpec(spec) }
 
 // FioKind selects one of the four Table III disk tests.
 type FioKind = fio.TestKind

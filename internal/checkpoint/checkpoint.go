@@ -35,7 +35,21 @@ type Header struct {
 	SimTime      float64 // simulated physical time
 	NX, NY       uint32
 	PayloadBytes uint64 // bulk history payload length
-	GridCRC      uint32 // CRC-32 (IEEE) of the encoded field
+	// GridCRC is the CRC-32 (IEEE) of the encoded header fields (all
+	// bytes before this one) followed by the encoded field, so a bit
+	// flip anywhere in the retained prefix — Step and SimTime included,
+	// which annotate the rendered frames — is detected, not rendered.
+	GridCRC uint32
+}
+
+// crcOffset is where GridCRC sits in the encoded header; the CRC
+// covers everything before it plus the grid bytes.
+const crcOffset = HeaderSize - 4
+
+// prefixCRC computes the checksum of an encoded header (minus its CRC
+// field) and grid.
+func prefixCRC(header, grid []byte) uint32 {
+	return crc32.Update(crc32.ChecksumIEEE(header[:crcOffset]), crc32.IEEETable, grid)
 }
 
 // ErrCorrupt reports a failed magic, bounds, or CRC check.
@@ -123,21 +137,30 @@ func (e *Encoder) encodePrefixInto(g *heat.Grid, step uint64, simTime float64, p
 		NX:           uint32(g.NX),
 		NY:           uint32(g.NY),
 		PayloadBytes: uint64(payload),
-		GridCRC:      crc32.ChecksumIEEE(grid),
 	})
+	binary.LittleEndian.PutUint32(e.prefix[crcOffset:], prefixCRC(e.prefix, grid))
 	return e.prefix
 }
 
 // Write serializes a checkpoint into f: header + field (real bytes) +
 // payload (sparse), reusing e's scratch buffer. It does not fsync; the
-// pipeline controls syncing.
-func (e *Encoder) Write(f *storage.File, g *heat.Grid, step uint64, simTime float64, payload units.Bytes) {
+// pipeline controls syncing. A transient write fault aborts the write
+// mid-file; the caller should delete and rewrite the whole file rather
+// than trust a partially-written checkpoint.
+func (e *Encoder) Write(f *storage.File, g *heat.Grid, step uint64, simTime float64, payload units.Bytes) error {
 	prefix := e.encodePrefixInto(g, step, simTime, payload)
-	f.WriteAt(prefix[:HeaderSize], 0)
-	f.WriteAt(prefix[HeaderSize:], HeaderSize)
-	if payload > 0 {
-		f.WriteSparseAt(units.Bytes(len(prefix)), payload)
+	if err := f.WriteAt(prefix[:HeaderSize], 0); err != nil {
+		return err
 	}
+	if err := f.WriteAt(prefix[HeaderSize:], HeaderSize); err != nil {
+		return err
+	}
+	if payload > 0 {
+		if err := f.WriteSparseAt(units.Bytes(len(prefix)), payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EncodeTo appends the retained prefix of a checkpoint — header plus
@@ -151,9 +174,9 @@ func (e *Encoder) EncodeTo(dst []byte, g *heat.Grid, step uint64, simTime float6
 
 // Write serializes a checkpoint into f with a one-shot Encoder; loops
 // over many events should hold an Encoder and use its Write instead.
-func Write(f *storage.File, g *heat.Grid, step uint64, simTime float64, payload units.Bytes) {
+func Write(f *storage.File, g *heat.Grid, step uint64, simTime float64, payload units.Bytes) error {
 	var e Encoder
-	e.Write(f, g, step, simTime, payload)
+	return e.Write(f, g, step, simTime, payload)
 }
 
 // TotalSize returns the on-disk size of a checkpoint of the given grid
@@ -184,8 +207,8 @@ func DecodePrefix(b []byte) (Header, *heat.Grid, error) {
 		return Header{}, nil, fmt.Errorf("%w: prefix truncated", ErrCorrupt)
 	}
 	gb := b[HeaderSize : HeaderSize+gridBytes]
-	if crc := crc32.ChecksumIEEE(gb); crc != h.GridCRC {
-		return Header{}, nil, fmt.Errorf("%w: grid CRC %08x != header %08x", ErrCorrupt, crc, h.GridCRC)
+	if crc := prefixCRC(b, gb); crc != h.GridCRC {
+		return Header{}, nil, fmt.Errorf("%w: prefix CRC %08x != header %08x", ErrCorrupt, crc, h.GridCRC)
 	}
 	return h, decodeGrid(gb, int(h.NX), int(h.NY)), nil
 }
@@ -194,7 +217,9 @@ func DecodePrefix(b []byte) (Header, *heat.Grid, error) {
 // header, field, and payload, and verifying magic and CRC.
 func Read(f *storage.File) (Header, *heat.Grid, error) {
 	hb := make([]byte, HeaderSize)
-	f.ReadAt(hb, 0)
+	if err := f.ReadAt(hb, 0); err != nil {
+		return Header{}, nil, err
+	}
 	h, err := decodeHeader(hb)
 	if err != nil {
 		return Header{}, nil, err
@@ -208,13 +233,17 @@ func Read(f *storage.File) (Header, *heat.Grid, error) {
 		return Header{}, nil, fmt.Errorf("%w: sizes exceed file length", ErrCorrupt)
 	}
 	gb := make([]byte, gridBytes)
-	f.ReadAt(gb, HeaderSize)
-	if crc := crc32.ChecksumIEEE(gb); crc != h.GridCRC {
-		return Header{}, nil, fmt.Errorf("%w: grid CRC %08x != header %08x", ErrCorrupt, crc, h.GridCRC)
+	if err := f.ReadAt(gb, HeaderSize); err != nil {
+		return Header{}, nil, err
+	}
+	if crc := prefixCRC(hb, gb); crc != h.GridCRC {
+		return Header{}, nil, fmt.Errorf("%w: prefix CRC %08x != header %08x", ErrCorrupt, crc, h.GridCRC)
 	}
 	// Stream the history payload (timing only; contents unused).
 	if h.PayloadBytes > 0 {
-		f.ReadSparseAt(HeaderSize+gridBytes, units.Bytes(h.PayloadBytes))
+		if err := f.ReadSparseAt(HeaderSize+gridBytes, units.Bytes(h.PayloadBytes)); err != nil {
+			return Header{}, nil, err
+		}
 	}
 	return h, decodeGrid(gb, int(h.NX), int(h.NY)), nil
 }

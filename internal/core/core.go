@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 
 	"repro/internal/checkpoint"
+	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/heat"
 	"repro/internal/node"
@@ -39,11 +40,15 @@ func (p Pipeline) String() string {
 }
 
 // Stage names used in phase annotations (Fig. 4's legend).
+// StageRecovery covers fault handling beyond plain retries: the
+// re-simulation of a checkpoint that could not be recovered from
+// storage.
 const (
 	StageSimulation = "simulation"
 	StageWrite      = "nnwrite"
 	StageRead       = "nnread"
 	StageViz        = "visualization"
+	StageRecovery   = "recovery"
 )
 
 // Simulator is the proxy-application interface the pipelines drive.
@@ -145,6 +150,64 @@ type AppConfig struct {
 	// checkpoints to an alternative backend (e.g. a parallel
 	// filesystem); nil uses the node's local filesystem.
 	Store CheckpointStore
+	// Faults, when set and enabled, injects storage faults for this run:
+	// Run builds one deterministic injector from it and installs it on
+	// the node's storage stack (and, via FaultSink, on a custom Store).
+	// Nil or all-zero rates leave every output byte-identical to a
+	// fault-free run.
+	Faults *fault.Config
+	// Retry bounds the recovery from injected (or real) transient
+	// storage errors; the zero value gets sensible defaults.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds how a run responds to recoverable storage errors:
+// up to MaxAttempts tries per operation, with an exponential
+// simulated-time backoff starting at Backoff between attempts, all
+// charged to the run's time and energy ledgers. The zero value means
+// 3 attempts with a 0.5 s initial backoff.
+type RetryPolicy struct {
+	MaxAttempts int
+	Backoff     units.Seconds
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 0.5
+	}
+	return p
+}
+
+// FaultSink is implemented by checkpoint stores that can route an
+// injected-fault stream into their own storage stack (the pfs store
+// forwards it to its servers). Run installs the run's injector on the
+// node directly and on a custom Store through this interface.
+type FaultSink interface {
+	SetFaults(*fault.Injector)
+}
+
+// RecoveryStats accounts the fault handling one run performed.
+type RecoveryStats struct {
+	// WriteRetries / ReadRetries count repeated attempts after a
+	// transient failure (the initial attempt is not counted).
+	WriteRetries, ReadRetries uint64
+	// LostWrites counts writes abandoned after the retry budget: a lost
+	// checkpoint is recovered later by re-simulation; a lost frame or
+	// reduced data product is simply absent from disk.
+	LostWrites uint64
+	// Resimulations counts checkpoints recomputed from initial
+	// conditions because storage could not produce an intact copy.
+	Resimulations uint64
+	// BackoffTime is the simulated time spent waiting between retries.
+	BackoffTime units.Seconds
+}
+
+// Total returns the number of recovery actions taken.
+func (s RecoveryStats) Total() uint64 {
+	return s.WriteRetries + s.ReadRetries + s.LostWrites + s.Resimulations
 }
 
 // CheckpointStore is where the post-processing pipeline keeps its
@@ -152,8 +215,10 @@ type AppConfig struct {
 // parallel filesystem (internal/pfs) in the Future Work experiments.
 // All calls block (advance virtual time) including durability.
 type CheckpointStore interface {
-	// WriteCheckpoint durably stores one checkpoint.
-	WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes)
+	// WriteCheckpoint durably stores one checkpoint, replacing any
+	// earlier file of the same name (so a retry starts clean). A
+	// transient error leaves no usable checkpoint behind.
+	WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes) error
 	// ReadCheckpoint fetches a checkpoint back, cold, returning the
 	// field and the solver step/time recorded at capture.
 	ReadCheckpoint(name string) (*field.Grid, uint64, float64, error)
@@ -174,14 +239,20 @@ type localStore struct {
 	enc    *checkpoint.Encoder
 }
 
-func (s localStore) WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes) {
+func (s localStore) WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes) error {
+	// Replace any partial file a failed earlier attempt left behind.
+	s.n.FS.Delete(name)
 	f := s.n.FS.Create(name, s.policy)
+	var err error
 	s.n.WithIO(func() {
-		s.enc.Write(f, g, step, simTime, payload)
+		if err = s.enc.Write(f, g, step, simTime, payload); err != nil {
+			return
+		}
 		if !s.async {
 			f.Fsync()
 		}
 	})
+	return err
 }
 
 func (s localStore) ReadCheckpoint(name string) (*field.Grid, uint64, float64, error) {
@@ -195,7 +266,11 @@ func (s localStore) ReadCheckpoint(name string) (*field.Grid, uint64, float64, e
 	s.n.WithIO(func() {
 		h, g, err = checkpoint.Read(f)
 	})
-	return g, h.Step, h.SimTime, err
+	if err != nil {
+		// Never hand out fields of a partially-decoded header.
+		return nil, 0, 0, err
+	}
+	return g, h.Step, h.SimTime, nil
 }
 
 func (s localStore) Barrier() {
@@ -260,6 +335,12 @@ type RunResult struct {
 	// CinemaFrames counts extra image-database views rendered when
 	// CinemaVariants is set (not part of FrameChecksum).
 	CinemaFrames int
+
+	// Faults counts the injected storage faults this run absorbed (all
+	// zero when injection is off); Recovery accounts the retries,
+	// re-simulations, and backoff spent absorbing them.
+	Faults   fault.Stats
+	Recovery RecoveryStats
 }
 
 // EnergyEfficiency returns frames per kilojoule — the work/energy
@@ -284,6 +365,9 @@ type runner struct {
 		Sum64() uint64
 	}
 	frame int
+
+	faults *fault.Injector
+	retry  RetryPolicy
 }
 
 // Run executes one pipeline on a node and returns its measurements.
@@ -297,6 +381,14 @@ func Run(n *node.Node, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResult {
 		cs:     cs,
 		solver: newSimulator(cfg),
 		hash:   fnv.New64a(),
+		retry:  cfg.Retry.withDefaults(),
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		r.faults = fault.New(*cfg.Faults)
+		n.InstallFaults(r.faults)
+		if sink, ok := cfg.Store.(FaultSink); ok {
+			sink.SetFaults(r.faults)
+		}
 	}
 	r.inst = n.NewInstruments(fmt.Sprintf("%s/%s", p, cs.Name))
 	r.res = &RunResult{
@@ -335,6 +427,7 @@ func Run(n *node.Node, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResult {
 	d1 := n.DiskStats()
 	res.BytesWritten = d1.BytesWritten - d0.BytesWritten
 	res.BytesRead = d1.BytesRead - d0.BytesRead
+	res.Faults = r.faults.Stats()
 	return res
 }
 
@@ -409,57 +502,142 @@ func (r *runner) renderFrame(g *field.Grid, step uint64, simTime float64) []byte
 	return png
 }
 
-// writeFrameFile stores an encoded frame on the filesystem.
+// backoff charges the exponential simulated-time wait before retry
+// attempt number attempt (1-based): Backoff, 2*Backoff, 4*Backoff, ...
+// The node sits idle — the time and its static energy land on the
+// run's ledgers like any other stall.
+func (r *runner) backoff(attempt int) {
+	d := r.retry.Backoff * units.Seconds(int64(1)<<uint(attempt-1))
+	r.n.Idle(d)
+	r.res.Recovery.BackoffTime += d
+}
+
+// writeRetry runs write under the retry budget and reports whether it
+// ever succeeded; a final failure counts as a lost write.
+func (r *runner) writeRetry(write func() error) bool {
+	err := write()
+	for attempt := 1; err != nil && attempt < r.retry.MaxAttempts; attempt++ {
+		r.backoff(attempt)
+		r.res.Recovery.WriteRetries++
+		err = write()
+	}
+	if err != nil {
+		r.res.Recovery.LostWrites++
+		return false
+	}
+	return true
+}
+
+// readRetry runs read under the retry budget and reports whether it
+// ever succeeded. Both transient errors and corruption (a tripped CRC)
+// are retried: bit-rot hits the delivered copy, not the media, so a
+// re-read can come back intact.
+func (r *runner) readRetry(read func() error) bool {
+	err := read()
+	for attempt := 1; err != nil && attempt < r.retry.MaxAttempts; attempt++ {
+		r.backoff(attempt)
+		r.res.Recovery.ReadRetries++
+		err = read()
+	}
+	return err == nil
+}
+
+// writeFrameFile stores an encoded frame on the filesystem. A write
+// that exhausts the retry budget leaves the frame absent from disk (it
+// still counts toward Frames and the checksum: the render happened).
 func (r *runner) writeFrameFile(png []byte) *storage.File {
 	f := r.n.FS.Create(fmt.Sprintf("frame-%04d.png", r.frame), storage.AllocContiguous)
 	r.frame++
-	f.WriteAt(png, 0)
+	r.writeRetry(func() error { return f.WriteAt(png, 0) })
 	return f
+}
+
+// ckptRef tracks one checkpoint through the pipeline: its store name,
+// the output iteration it captured, and whether the write phase gave
+// up on it (so the read phase goes straight to re-simulation).
+type ckptRef struct {
+	name string
+	iter int
+	lost bool
 }
 
 // runPostProcessing is the traditional pipeline: phase one simulates
 // and writes checkpoints (fsync each for durability); a sync +
 // drop_caches barrier separates the phases (§IV-C); phase two reads
 // every checkpoint back cold and visualizes it.
+//
+// Storage errors are recoverable, never fatal: writes and reads retry
+// under the run's RetryPolicy, and a checkpoint storage cannot produce
+// intact is re-simulated from the initial conditions — the solver is
+// deterministic, so the recomputed field (and thus the rendered frame)
+// is identical to the lost one. Every recovery path is charged to the
+// virtual time and energy ledgers.
 func (r *runner) runPostProcessing() {
 	n, cfg, cs := r.n, r.cfg, r.cs
 	store := cfg.Store
 	if store == nil {
 		store = localStore{n: n, policy: cfg.CheckpointPolicy, async: cfg.AsyncCheckpoint, enc: &checkpoint.Encoder{}}
 	}
-	var names []string
+	var ckpts []ckptRef
 	for i := 1; i <= cs.Iterations; i++ {
 		r.simulateIteration()
 		if i%cs.IOInterval != 0 {
 			continue
 		}
-		name := fmt.Sprintf("ckpt-%04d", i)
-		names = append(names, name)
+		c := ckptRef{name: fmt.Sprintf("ckpt-%04d", i), iter: i}
 		r.stage(StageWrite, func() {
-			store.WriteCheckpoint(name, r.solver.Field(), r.solver.Steps(), r.solver.Time(), cfg.CheckpointPayload)
+			c.lost = !r.writeRetry(func() error {
+				return store.WriteCheckpoint(c.name, r.solver.Field(), r.solver.Steps(), r.solver.Time(), cfg.CheckpointPayload)
+			})
 		})
+		ckpts = append(ckpts, c)
 	}
 
 	// Phase barrier: sync and drop caches so reads hit the media.
 	store.Barrier()
 
-	for _, name := range names {
+	for _, c := range ckpts {
 		var g *field.Grid
 		var step uint64
 		var simTime float64
-		r.stage(StageRead, func() {
-			var err error
-			g, step, simTime, err = store.ReadCheckpoint(name)
-			if err != nil {
-				panic(fmt.Sprintf("core: checkpoint %s corrupt: %v", name, err))
-			}
-		})
+		ok := false
+		if !c.lost {
+			r.stage(StageRead, func() {
+				ok = r.readRetry(func() error {
+					var err error
+					g, step, simTime, err = store.ReadCheckpoint(c.name)
+					return err
+				})
+			})
+		}
+		if !ok {
+			// The checkpoint is gone (write gave up) or unreadable after
+			// the retry budget: recompute its field from the initial
+			// conditions.
+			r.stage(StageRecovery, func() {
+				g, step, simTime = r.resimulate(c.iter)
+				r.res.Recovery.Resimulations++
+			})
+		}
 		r.stage(StageViz, func() {
 			png := r.renderFrame(g, step, simTime)
 			n.WithIO(func() { r.writeFrameFile(png) })
 		})
 	}
 	n.WithIO(func() { n.FS.Sync() })
+}
+
+// resimulate recomputes the field of output iteration iter by stepping
+// a fresh solver from the initial conditions, charging the same compute
+// cost per iteration as the original pass. Determinism makes the
+// recovered field bit-identical to the one the lost checkpoint held.
+func (r *runner) resimulate(iter int) (*field.Grid, uint64, float64) {
+	solver := newSimulator(r.cfg)
+	for i := 1; i <= iter; i++ {
+		solver.Step(r.cfg.RealSubsteps)
+		r.n.Compute(solver.CellUpdates(r.cfg.SubstepsPerIteration))
+	}
+	return solver.Field(), solver.Steps(), solver.Time()
 }
 
 // runInSitu is the coupled pipeline: each I/O event renders directly
@@ -492,7 +670,7 @@ func (r *runner) runInSitu() {
 			n.WithIO(func() {
 				f := r.writeFrameFile(png)
 				reduced := n.FS.Create(fmt.Sprintf("reduced-%04d", i), storage.AllocContiguous)
-				reduced.AppendSparse(payload)
+				r.writeRetry(func() error { return reduced.AppendSparse(payload) })
 				if !cfg.InsituNoSync {
 					f.Fsync()
 					reduced.Fsync()
@@ -538,7 +716,7 @@ func (r *runner) renderCinemaVariants(event int) {
 		r.res.CinemaFrames++
 		r.n.WithIO(func() {
 			f := r.n.FS.Create(fmt.Sprintf("cinema-%04d-%02d.png", event, k), storage.AllocContiguous)
-			f.WriteAt(png, 0)
+			r.writeRetry(func() error { return f.WriteAt(png, 0) })
 		})
 	}
 }

@@ -57,7 +57,11 @@ func CharacterizeStages(n *node.Node, cfg AppConfig, events int) StageCharacteri
 		names = append(names, name)
 		f := n.FS.Create(name, cfg.CheckpointPolicy)
 		n.WithIO(func() {
-			enc.Write(f, solver.Field(), solver.Steps(), solver.Time(), cfg.CheckpointPayload)
+			// The characterization node carries no fault injector, so the
+			// write cannot fail transiently.
+			if err := enc.Write(f, solver.Field(), solver.Steps(), solver.Time(), cfg.CheckpointPayload); err != nil {
+				panic(fmt.Sprintf("core: stage checkpoint write failed: %v", err))
+			}
 			f.Fsync()
 		})
 	}

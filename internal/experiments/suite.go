@@ -165,6 +165,7 @@ func Registry() []Experiment {
 		{"compression", "In-situ payload compression (ref 22)", (*Suite).Compression},
 		{"cinema", "Image-database in-situ (ref 12)", (*Suite).Cinema},
 		{"ablations", "Design-choice ablations (ours)", (*Suite).Ablations},
+		{"reliability", "Storage-fault injection: recovery cost per pipeline (ours)", (*Suite).Reliability},
 	}
 }
 

@@ -12,6 +12,7 @@ package node
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/rapl"
 	"repro/internal/sim"
@@ -347,6 +348,22 @@ func (n *Node) WaitDiskIdle() {
 		}
 		n.Engine.AdvanceTo(free)
 	}
+}
+
+// InstallFaults attaches a fault injector to the node's whole storage
+// stack — the block device (latency spikes) and the filesystem
+// (transient errors, bit-rot). Pass nil to detach. One injector per
+// node: its decision stream is part of the node's deterministic state.
+func (n *Node) InstallFaults(inj *fault.Injector) {
+	switch d := n.Device.(type) {
+	case *storage.Disk:
+		d.SetFaults(inj)
+	case *storage.StripedDisk:
+		d.SetFaults(inj)
+	case *storage.BurstBuffer:
+		d.SetFaults(inj)
+	}
+	n.FS.SetFaults(inj)
 }
 
 // DiskStats aggregates media statistics across whatever device the

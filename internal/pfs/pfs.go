@@ -13,6 +13,7 @@ package pfs
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/netio"
 	"repro/internal/node"
 	"repro/internal/power"
@@ -65,6 +66,10 @@ type FileSystem struct {
 
 	files map[string]*fileMeta
 	stats Stats
+
+	// faults, when set, injects server drops on whole-file requests and
+	// bit-rot on delivered headers.
+	faults *fault.Injector
 }
 
 // fileMeta records a striped file's layout and retained content.
@@ -137,6 +142,18 @@ func (fs *FileSystem) Stats() Stats { return fs.stats }
 // Uplink returns the shared client link (for tests and reports).
 func (fs *FileSystem) Uplink() *netio.Link { return fs.uplink }
 
+// SetFaults attaches a fault injector; nil detaches it. The injector
+// covers the RPC layer here (drops, header rot); the server disks keep
+// their own timing model and are not individually faulted.
+func (fs *FileSystem) SetFaults(inj *fault.Injector) { fs.faults = inj }
+
+// dropStall models a server missing its RPC window: the client blocks
+// out to the timeout, then the operation fails transiently.
+func (fs *FileSystem) dropStall(op, name string) error {
+	fs.engine.Advance(fs.faults.DropTimeout())
+	return fmt.Errorf("pfs: %s %q: server timed out: %w", op, name, fault.ErrTransient)
+}
+
 // bracketCPU charges a short request-handling busy period on a server
 // via events.
 func (s *server) bracketCPU(d units.Seconds) {
@@ -161,12 +178,19 @@ func (s *server) bracketCPU(d units.Seconds) {
 // remaining bytes are sparse. The client pays one serialization pass at
 // memory speed plus the uplink transfer; server disks absorb stripes in
 // parallel as they arrive.
-func (fs *FileSystem) WriteFile(name string, header []byte, total units.Bytes) {
+//
+// An injected server drop fails the write before any stripe ships: the
+// client stalls out to the drop timeout and no partial file is
+// registered, so a retry starts clean.
+func (fs *FileSystem) WriteFile(name string, header []byte, total units.Bytes) error {
 	if total < units.Bytes(len(header)) {
 		panic("pfs: total smaller than header")
 	}
 	if _, ok := fs.files[name]; ok {
 		panic(fmt.Sprintf("pfs: file %q already exists", name))
+	}
+	if fs.faults.ServerDrop() {
+		return fs.dropStall("write", name)
 	}
 	meta := &fileMeta{size: total, header: append([]byte(nil), header...)}
 
@@ -199,14 +223,23 @@ func (fs *FileSystem) WriteFile(name string, header []byte, total units.Bytes) {
 	fs.files[name] = meta
 	fs.stats.FilesWritten++
 	fs.stats.BytesWritten += total
+	return nil
 }
 
 // ReadFile fetches a file back: server disks read stripes in parallel,
 // the uplink ships them to the client. Returns the retained header.
+//
+// Injected faults: a server drop stalls the client out to the timeout
+// and fails the read (nothing transferred); bit-rot flips bits in the
+// delivered header copy only — the stored stripes are unharmed, so a
+// re-read may come back clean.
 func (fs *FileSystem) ReadFile(name string) ([]byte, error) {
 	meta, ok := fs.files[name]
 	if !ok {
 		return nil, fmt.Errorf("pfs: file %q not found", name)
+	}
+	if fs.faults.ServerDrop() {
+		return nil, fs.dropStall("read", name)
 	}
 	for _, ext := range meta.extents {
 		srv := fs.servers[ext.server]
@@ -221,7 +254,9 @@ func (fs *FileSystem) ReadFile(name string) ([]byte, error) {
 	// Client-side delivery pass.
 	fs.engine.Advance(units.TransferTime(meta.size, 3e9))
 	fs.stats.BytesRead += meta.size
-	return append([]byte(nil), meta.header...), nil
+	out := append([]byte(nil), meta.header...)
+	fs.faults.Rot(out)
+	return out, nil
 }
 
 // Delete forgets a file (the experiments write each file once).

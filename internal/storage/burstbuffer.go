@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -85,6 +86,19 @@ func (b *BurstBuffer) Stats() BurstBufferStats { return b.stats }
 
 // Backing returns the device under the tier.
 func (b *BurstBuffer) Backing() Device { return b.backing }
+
+// SetFaults forwards the injector to the backing device (the NVRAM tier
+// itself is assumed fault-free; the spinning media under it is not).
+func (b *BurstBuffer) SetFaults(inj *fault.Injector) {
+	switch dev := b.backing.(type) {
+	case *Disk:
+		dev.SetFaults(inj)
+	case *StripedDisk:
+		dev.SetFaults(inj)
+	case *BurstBuffer:
+		dev.SetFaults(inj)
+	}
+}
 
 // ResidentBytes returns how much data currently lives in the tier.
 func (b *BurstBuffer) ResidentBytes() units.Bytes { return b.resident.Bytes() }

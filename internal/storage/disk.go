@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -174,6 +175,9 @@ type Disk struct {
 	// submission order).
 	head units.Bytes
 
+	// faults, when set, adds latency spikes to request positioning.
+	faults *fault.Injector
+
 	standby   bool
 	standbyEv *sim.Event
 
@@ -208,6 +212,9 @@ func NewDisk(engine *sim.Engine, params DiskParams, domain *power.Domain, rng *x
 
 // Params returns the disk's configuration.
 func (d *Disk) Params() DiskParams { return d.params }
+
+// SetFaults attaches a fault injector; nil detaches it.
+func (d *Disk) SetFaults(inj *fault.Injector) { d.faults = inj }
 
 // Capacity returns the addressable size (Device interface).
 func (d *Disk) Capacity() units.Bytes { return d.params.Capacity }
@@ -305,6 +312,12 @@ func (d *Disk) Submit(op Op, offset, n units.Bytes, done func()) (end sim.Time) 
 		panic(fmt.Sprintf("storage: request [%d,+%d) outside disk capacity %d", offset, n, d.params.Capacity))
 	}
 	positioning, transfer, seeked := d.serviceTimeClassified(op, offset, n)
+	if spike := d.faults.LatencySpike(); spike > 0 {
+		// A recalibration pass / remapped-sector retry train: pure extra
+		// head-positioning time, charged at seek power like any other
+		// repositioning.
+		positioning += spike
+	}
 	if d.standby {
 		positioning += d.params.SpinupTime
 		d.standby = false

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/xrand"
@@ -69,6 +70,10 @@ type FileSystem struct {
 	nextFree   units.Bytes
 	journalPos units.Bytes
 	fileSeq    uint64
+
+	// faults, when set, injects transient I/O errors and bit-rot on the
+	// file read/write paths.
+	faults *fault.Injector
 }
 
 // NewFileSystem creates an empty filesystem.
@@ -98,6 +103,10 @@ func (fs *FileSystem) Cache() *PageCache { return fs.cache }
 
 // Device returns the block store backing the filesystem.
 func (fs *FileSystem) Device() Device { return fs.disk }
+
+// SetFaults attaches a fault injector to the file I/O paths; nil
+// detaches it.
+func (fs *FileSystem) SetFaults(inj *fault.Injector) { fs.faults = inj }
 
 // File is a named sequence of extents. Files hold real bytes for the
 // logical ranges written with data (WriteAt); ranges written sparsely
@@ -237,33 +246,43 @@ func (f *File) FragmentRuns() int {
 
 // WriteAt writes real bytes at the logical offset, growing the file as
 // needed. Blocks for buffering time; media time is deferred to
-// write-back or Fsync.
-func (f *File) WriteAt(p []byte, off units.Bytes) {
+// write-back or Fsync. An injected transient fault fails the write with
+// fault.ErrTransient before any state changes: the file is exactly as
+// it was, and a retry draws a fresh fault decision.
+func (f *File) WriteAt(p []byte, off units.Bytes) error {
 	n := units.Bytes(len(p))
 	if n == 0 {
-		return
+		return nil
+	}
+	if f.fs.faults.WriteError() {
+		return fmt.Errorf("storage: write %q at %d: %w", f.name, off, fault.ErrTransient)
 	}
 	f.writeCommon(off, n)
 	f.retain(off, p)
+	return nil
 }
 
 // WriteSparseAt is WriteAt without retaining content: the same
 // allocation, cache, and timing behaviour, but reads of the range
 // return a deterministic pattern. Used for bulk payloads (fio files,
 // checkpoint history) whose bytes never matter.
-func (f *File) WriteSparseAt(off, n units.Bytes) {
+func (f *File) WriteSparseAt(off, n units.Bytes) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if f.fs.faults.WriteError() {
+		return fmt.Errorf("storage: write %q at %d: %w", f.name, off, fault.ErrTransient)
 	}
 	f.writeCommon(off, n)
 	f.dropRetained(Range{off, off + n})
+	return nil
 }
 
 // Append writes real bytes at the end of the file.
-func (f *File) Append(p []byte) { f.WriteAt(p, f.size) }
+func (f *File) Append(p []byte) error { return f.WriteAt(p, f.size) }
 
 // AppendSparse extends the file by n pattern bytes.
-func (f *File) AppendSparse(n units.Bytes) { f.WriteSparseAt(f.size, n) }
+func (f *File) AppendSparse(n units.Bytes) error { return f.WriteSparseAt(f.size, n) }
 
 func (f *File) writeCommon(off, n units.Bytes) {
 	if off < 0 {
@@ -282,21 +301,36 @@ func (f *File) writeCommon(off, n units.Bytes) {
 // Ranges never written with real data are filled with the file's
 // deterministic pattern. Reading past EOF panics: the workloads always
 // know their file sizes.
-func (f *File) ReadAt(p []byte, off units.Bytes) {
+//
+// Injected faults surface two ways: a transient read error (time is
+// charged — the device did the work — but p is not filled and
+// fault.ErrTransient returns), or silent bit-rot flipping bits in the
+// delivered copy only. The stored bytes are never harmed; a re-read
+// draws fresh decisions and may come back clean.
+func (f *File) ReadAt(p []byte, off units.Bytes) error {
 	n := units.Bytes(len(p))
 	if n == 0 {
-		return
+		return nil
 	}
 	f.readTiming(off, n)
+	if f.fs.faults.ReadError() {
+		return fmt.Errorf("storage: read %q at %d: %w", f.name, off, fault.ErrTransient)
+	}
 	f.fill(p, off)
+	f.fs.faults.Rot(p)
+	return nil
 }
 
 // ReadSparseAt charges the timing of a read without materializing data.
-func (f *File) ReadSparseAt(off, n units.Bytes) {
+func (f *File) ReadSparseAt(off, n units.Bytes) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	f.readTiming(off, n)
+	if f.fs.faults.ReadError() {
+		return fmt.Errorf("storage: read %q at %d: %w", f.name, off, fault.ErrTransient)
+	}
+	return nil
 }
 
 func (f *File) readTiming(off, n units.Bytes) {

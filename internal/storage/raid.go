@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -46,6 +47,15 @@ func NewStripedDisk(engine *sim.Engine, n int, params DiskParams, stripe units.B
 
 // Members returns the underlying disks.
 func (s *StripedDisk) Members() []*Disk { return s.members }
+
+// SetFaults attaches a fault injector to every member disk. The members
+// share one injector (and thus one decision stream), keeping the fault
+// schedule a function of request submission order alone.
+func (s *StripedDisk) SetFaults(inj *fault.Injector) {
+	for _, m := range s.members {
+		m.SetFaults(inj)
+	}
+}
 
 // StripeUnit returns the stripe size.
 func (s *StripedDisk) StripeUnit() units.Bytes { return s.stripe }

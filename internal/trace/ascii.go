@@ -18,12 +18,19 @@ func ASCIIPlot(title string, width, height int, series ...*Series) string {
 	}
 	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
 
-	// Global extents.
+	// Global extents over finite samples only: one NaN/Inf reading (a
+	// faulted run can produce them) must not blow up the axes. Skipped
+	// samples leave a gap in the canvas and a note in the legend.
 	tMin, tMax := math.Inf(1), math.Inf(-1)
 	vMin, vMax := math.Inf(1), math.Inf(-1)
 	any := false
+	nonFinite := 0
 	for _, s := range series {
 		for _, sm := range s.Samples() {
+			if !finite(sm.V) {
+				nonFinite++
+				continue
+			}
 			any = true
 			t, v := float64(sm.T), sm.V
 			tMin, tMax = math.Min(tMin, t), math.Max(tMax, t)
@@ -31,6 +38,9 @@ func ASCIIPlot(title string, width, height int, series ...*Series) string {
 		}
 	}
 	if !any {
+		if nonFinite > 0 {
+			return fmt.Sprintf("%s\n(no samples; %d non-finite omitted)\n", title, nonFinite)
+		}
 		return title + "\n(no samples)\n"
 	}
 	if tMax == tMin {
@@ -51,6 +61,9 @@ func ASCIIPlot(title string, width, height int, series ...*Series) string {
 	for si, s := range series {
 		g := glyphs[si%len(glyphs)]
 		for _, sm := range s.Samples() {
+			if !finite(sm.V) {
+				continue
+			}
 			x := int((float64(sm.T) - tMin) / (tMax - tMin) * float64(width-1))
 			y := int((sm.V - vMin) / (vMax - vMin) * float64(height-1))
 			row := height - 1 - y
@@ -73,5 +86,8 @@ func ASCIIPlot(title string, width, height int, series ...*Series) string {
 		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
 	}
 	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(legend, "  "))
+	if nonFinite > 0 {
+		fmt.Fprintf(&b, "%8s  (%d non-finite samples omitted)\n", "", nonFinite)
+	}
 	return b.String()
 }

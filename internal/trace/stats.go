@@ -15,13 +15,15 @@ func (s *Series) Percentile(p float64) float64 {
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("trace: percentile %v outside [0,100]", p))
 	}
-	n := len(s.samples)
+	vals := make([]float64, 0, len(s.samples))
+	for _, sm := range s.samples {
+		if finite(sm.V) {
+			vals = append(vals, sm.V)
+		}
+	}
+	n := len(vals)
 	if n == 0 {
 		return math.NaN()
-	}
-	vals := make([]float64, n)
-	for i, sm := range s.samples {
-		vals[i] = sm.V
 	}
 	sort.Float64s(vals)
 	if n == 1 {
@@ -36,19 +38,27 @@ func (s *Series) Percentile(p float64) float64 {
 	return vals[lo]*(1-frac) + vals[lo+1]*frac
 }
 
-// StdDev returns the population standard deviation of the values.
+// StdDev returns the population standard deviation of the finite
+// values (non-finite samples are excluded, like Summarize).
 func (s *Series) StdDev() float64 {
-	n := len(s.samples)
+	var sum float64
+	var n int
+	for _, sm := range s.samples {
+		if !finite(sm.V) {
+			continue
+		}
+		sum += sm.V
+		n++
+	}
 	if n == 0 {
 		return 0
-	}
-	var sum float64
-	for _, sm := range s.samples {
-		sum += sm.V
 	}
 	mean := sum / float64(n)
 	var sq float64
 	for _, sm := range s.samples {
+		if !finite(sm.V) {
+			continue
+		}
 		d := sm.V - mean
 		sq += d * d
 	}
@@ -71,6 +81,9 @@ func (s *Series) Histogram(n int) []HistogramBin {
 		return nil
 	}
 	st := s.Summarize()
+	if st.N == 0 {
+		return nil
+	}
 	lo, hi := st.Min, st.Max
 	if hi == lo {
 		hi = lo + 1
@@ -82,6 +95,9 @@ func (s *Series) Histogram(n int) []HistogramBin {
 		bins[i].Hi = bins[i].Lo + width
 	}
 	for _, sm := range s.samples {
+		if !finite(sm.V) {
+			continue
+		}
 		idx := int((sm.V - lo) / width)
 		if idx >= n {
 			idx = n - 1
@@ -102,17 +118,24 @@ func (s *Series) MovingAverage(window int) *Series {
 		panic("trace: moving average needs a positive window")
 	}
 	out := NewSeries(s.Name+".ma", s.Unit)
+	// Track the finite sum and count of the trailing window so one NaN
+	// sample leaves a one-window dent, not a NaN tail.
 	var sum float64
+	var cnt int
 	for i, sm := range s.samples {
-		sum += sm.V
-		if i >= window {
+		if finite(sm.V) {
+			sum += sm.V
+			cnt++
+		}
+		if i >= window && finite(s.samples[i-window].V) {
 			sum -= s.samples[i-window].V
+			cnt--
 		}
-		n := window
-		if i+1 < window {
-			n = i + 1
+		if cnt == 0 {
+			out.Append(sm.T, math.NaN())
+			continue
 		}
-		out.Append(sm.T, sum/float64(n))
+		out.Append(sm.T, sum/float64(cnt))
 	}
 	return out
 }
@@ -136,6 +159,9 @@ func (s *Series) Downsample(k int) *Series {
 func (s *Series) EnergyAbove(floor float64) units.Joules {
 	var sum float64
 	for i := 0; i+1 < len(s.samples); i++ {
+		if !finite(s.samples[i].V) {
+			continue
+		}
 		dt := float64(s.samples[i+1].T - s.samples[i].T)
 		if v := s.samples[i].V - floor; v > 0 {
 			sum += v * dt

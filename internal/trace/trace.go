@@ -56,14 +56,22 @@ func (s *Series) Between(t0, t1 units.Seconds) []Sample {
 	return s.samples[lo:hi]
 }
 
-// Stats summarizes a set of samples.
+// Stats summarizes a set of samples. Non-finite values (NaN/±Inf — a
+// faulted run can produce them) are excluded from the moments and
+// counted in NonFinite so summaries degrade to a labeled gap instead of
+// poisoning every derived number.
 type Stats struct {
 	N        int
 	Mean     float64
 	Min, Max float64
 	Start    units.Seconds
 	End      units.Seconds
+	// NonFinite counts NaN/±Inf samples excluded from N and the moments.
+	NonFinite int
 }
+
+// finite reports whether v is a usable sample value.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Summarize computes stats over all samples.
 func (s *Series) Summarize() Stats { return SummarizeSamples(s.samples) }
@@ -73,7 +81,8 @@ func (s *Series) SummarizeBetween(t0, t1 units.Seconds) Stats {
 	return SummarizeSamples(s.Between(t0, t1))
 }
 
-// SummarizeSamples computes stats over an explicit sample slice.
+// SummarizeSamples computes stats over an explicit sample slice,
+// skipping non-finite values (counted in NonFinite).
 func SummarizeSamples(samples []Sample) Stats {
 	st := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
 	if len(samples) == 0 {
@@ -81,6 +90,11 @@ func SummarizeSamples(samples []Sample) Stats {
 	}
 	var sum float64
 	for _, sm := range samples {
+		if !finite(sm.V) {
+			st.NonFinite++
+			continue
+		}
+		st.N++
 		sum += sm.V
 		if sm.V < st.Min {
 			st.Min = sm.V
@@ -89,7 +103,9 @@ func SummarizeSamples(samples []Sample) Stats {
 			st.Max = sm.V
 		}
 	}
-	st.N = len(samples)
+	if st.N == 0 {
+		return Stats{NonFinite: st.NonFinite}
+	}
 	st.Mean = sum / float64(st.N)
 	st.Start = samples[0].T
 	st.End = samples[len(samples)-1].T
@@ -98,10 +114,14 @@ func SummarizeSamples(samples []Sample) Stats {
 
 // Integral returns the left-rectangle integral of the series over its
 // span assuming each sample holds until the next (the way a 1 Hz meter
-// is integrated into energy).
+// is integrated into energy). Non-finite samples contribute nothing —
+// their interval is a gap, not a poisoned total.
 func (s *Series) Integral() float64 {
 	var sum float64
 	for i := 0; i+1 < len(s.samples); i++ {
+		if !finite(s.samples[i].V) {
+			continue
+		}
 		dt := float64(s.samples[i+1].T - s.samples[i].T)
 		sum += s.samples[i].V * dt
 	}
