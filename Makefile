@@ -8,16 +8,29 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full pre-merge gate: formatting, vet, build, the test
-# suite under the race detector, and a short fuzz pass over the
+# check is the full pre-merge gate: formatting, vet, build (library,
+# CLI, and examples), the test suite under the race detector, the
+# golden-output regression suite (runs without race — the full
+# experiment suite is infeasible under the detector, so it is skipped
+# there and must run here explicitly), and a short fuzz pass over the
 # checkpoint decoder (seeds plus 10s of mutation).
 check:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(GO) build ./examples/...
 	$(GO) test -race -timeout 45m ./...
+	$(GO) test -run '^TestGolden' -timeout 30m ./internal/experiments
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePrefix$$' -fuzztime 10s ./internal/checkpoint
+
+# golden re-verifies the committed per-experiment output digests;
+# golden-update regenerates them after an intentional output change.
+.PHONY: golden golden-update
+golden:
+	$(GO) test -run '^TestGolden' -timeout 30m ./internal/experiments
+golden-update:
+	$(GO) test -run '^TestGolden' -timeout 30m -update ./internal/experiments
 
 # bench records the benchmark set into BENCH_pr2.json.
 bench:

@@ -115,6 +115,9 @@ func BenchmarkAblations(b *testing.B) { benchReport(b, "ablations") }
 // BenchmarkInTransit regenerates the multi-node in-transit study.
 func BenchmarkInTransit(b *testing.B) { benchReport(b, "intransit") }
 
+// BenchmarkHybrid regenerates the in-situ + in-transit offload study.
+func BenchmarkHybrid(b *testing.B) { benchReport(b, "hybrid") }
+
 // BenchmarkDevices regenerates the HDD/RAID/NVRAM/SSD sweep.
 func BenchmarkDevices(b *testing.B) { benchReport(b, "devices") }
 

@@ -44,12 +44,22 @@ func main() {
 		csvDir       = flag.String("csv", "", "directory to dump case-study power profiles as CSV")
 		faults       = flag.String("faults", "", "inject storage faults: comma-separated bitrot=,readerr=,writeerr=,latency=,drop= (probabilities), spike=,timeout= (seconds), seed= — empty disables injection (byte-identical output)")
 
-		pipeline  = flag.String("pipeline", "", "run one pipeline instead of an experiment: post, insitu, intransit")
+		pipeline  = flag.String("pipeline", "", "run one pipeline instead of an experiment: "+strings.Join(pipelineFlags(), ", "))
 		app       = flag.String("app", "heat", "proxy application: heat, ocean")
 		device    = flag.String("device", "hdd", "storage device: hdd, ssd, raid4, nvram")
 		caseIdx   = flag.Int("case", 1, "case study number (1..3)")
 		framesDir = flag.String("frames", "", "directory to dump rendered PNG frames (pipeline mode)")
 	)
+	// Usage lists the experiment registry and pipeline names, derived
+	// from the registries themselves so new entries appear automatically.
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nexperiments (-experiment <id>, or \"all\"):\n")
+		for _, e := range greenviz.Experiments() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", e.ID, e.Description)
+		}
+	}
 	flag.Parse()
 
 	faultCfg, err := greenviz.ParseFaultSpec(*faults)
@@ -123,6 +133,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// pipelineFlags lists the -pipeline names from the core registry.
+func pipelineFlags() []string {
+	var out []string
+	for _, p := range greenviz.Pipelines() {
+		out = append(out, p.Flag())
+	}
+	return out
 }
 
 // dumpCSVs writes the power profile of every cached case-study run.

@@ -57,23 +57,36 @@ func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSub
 	}
 	cs := cases[caseIdx-1]
 
-	switch pipeline {
-	case "post":
-		printRun(greenviz.Run(greenviz.NewNode(platform, seed), greenviz.PostProcessing, cs, cfg), framesDir)
-	case "insitu":
-		printRun(greenviz.Run(greenviz.NewNode(platform, seed), greenviz.InSitu, cs, cfg), framesDir)
-	case "intransit":
-		r := greenviz.RunInTransit(greenviz.NewCluster(platform, greenviz.TenGigE(), seed), cs, cfg)
-		fmt.Printf("pipeline: in-transit (%s, %s, device %s)\n", cs.Name, appName(app), device)
+	// Dispatch is registry-driven: PipelineByFlag resolves every
+	// pipeline core declares, so a new pipeline only needs a constant
+	// and a Flag() name to be runnable (and listed in errors) here.
+	p, err := greenviz.PipelineByFlag(pipeline)
+	if err != nil {
+		return err
+	}
+	if p.Clustered() {
+		r := greenviz.RunOnCluster(greenviz.NewCluster(platform, greenviz.TenGigE(), seed), p, cs, cfg)
+		fmt.Printf("pipeline: %s (%s, %s, device %s)\n", r.Pipeline, cs.Name, appName(app), device)
 		fmt.Printf("  makespan        %10.1f s\n", float64(r.ExecTime))
 		fmt.Printf("  sim-node energy %12s\n", r.SimEnergy)
 		fmt.Printf("  staging energy  %12s\n", r.StagingEnergy)
-		fmt.Printf("  cluster energy  %12s\n", r.TotalEnergy)
+		fmt.Printf("  cluster energy  %12s\n", r.Energy)
 		fmt.Printf("  network moved   %12s in %d transfers\n", r.BytesSent, r.Frames)
-	default:
-		return fmt.Errorf("unknown pipeline %q (post, insitu, intransit)", pipeline)
+		printStageTimes(r)
+		return nil
 	}
+	printRun(greenviz.Run(greenviz.NewNode(platform, seed), p, cs, cfg), framesDir)
 	return nil
+}
+
+// printStageTimes reports per-stage times in the canonical order; the
+// stage list comes from core so new stages print automatically.
+func printStageTimes(r *greenviz.Result) {
+	for _, st := range greenviz.StageNames() {
+		if d, ok := r.StageTime[st]; ok {
+			fmt.Printf("  stage %-13s %8.1f s (%.0f%%)\n", st, float64(d), float64(d)/float64(r.ExecTime)*100)
+		}
+	}
 }
 
 func appName(app string) string {
@@ -91,11 +104,7 @@ func printRun(r *greenviz.Result, framesDir string) {
 	fmt.Printf("  peak power      %12s\n", r.PeakPower)
 	fmt.Printf("  energy          %12s\n", r.Energy)
 	fmt.Printf("  frames          %12d (checksum %016x)\n", r.Frames, r.FrameChecksum)
-	for _, st := range []string{"simulation", "nnwrite", "nnread", "visualization", "recovery"} {
-		if d, ok := r.StageTime[st]; ok {
-			fmt.Printf("  stage %-13s %8.1f s (%.0f%%)\n", st, float64(d), float64(d)/float64(r.ExecTime)*100)
-		}
-	}
+	printStageTimes(r)
 	if r.Faults.Total() > 0 || r.Recovery.Total() > 0 {
 		fmt.Printf("  faults injected %12d (%d bit-rot, %d read, %d write, %d spikes, %d drops)\n",
 			r.Faults.Total(), r.Faults.BitRots, r.Faults.ReadErrors, r.Faults.WriteErrors,

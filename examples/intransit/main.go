@@ -25,7 +25,7 @@ func main() {
 	fmt.Printf("%-26s %10s %14s %14s\n", "pipeline", "makespan", "sim-node E", "cluster E")
 	fmt.Printf("%-26s %9.1fs %14s %14s\n", "post-processing (1 node)", float64(post.ExecTime), post.Energy, post.Energy)
 	fmt.Printf("%-26s %9.1fs %14s %14s\n", "in-situ (1 node)", float64(insitu.ExecTime), insitu.Energy, insitu.Energy)
-	fmt.Printf("%-26s %9.1fs %14s %14s\n", "in-transit (2 nodes)", float64(it.ExecTime), it.SimEnergy, it.TotalEnergy)
+	fmt.Printf("%-26s %9.1fs %14s %14s\n", "in-transit (2 nodes)", float64(it.ExecTime), it.SimEnergy, it.Energy)
 
 	fmt.Printf("\nNetwork moved %s in %d transfers; the staging node rendered for %.1f s\n",
 		it.BytesSent, it.Frames, float64(it.StagingBusy))

@@ -60,7 +60,8 @@ func NewNode(p Platform, seed uint64) *Node { return node.New(p, seed) }
 // Pipeline selects a visualization pipeline.
 type Pipeline = core.Pipeline
 
-// The two pipelines the paper compares (its Fig. 2).
+// The two pipelines the paper compares (its Fig. 2), plus the two
+// clustered pipelines of the Future Work study.
 const (
 	// PostProcessing simulates, writes checkpoints to disk, then reads
 	// them back and renders them in a separate phase.
@@ -68,7 +69,26 @@ const (
 	// InSitu renders alongside the simulation and flushes frames plus a
 	// reduced data product.
 	InSitu = core.InSitu
+	// InTransit ships each event's data to a staging node that renders
+	// concurrently (needs a Cluster; use RunInTransit).
+	InTransit = core.InTransit
+	// Hybrid renders in situ and asynchronously offloads checkpoints to
+	// a staging node (needs a Cluster; use RunHybrid).
+	Hybrid = core.Hybrid
 )
+
+// Pipelines lists every pipeline in declaration order; CLIs and tools
+// should derive pipeline menus from it so new pipelines appear
+// automatically.
+func Pipelines() []Pipeline { return core.Pipelines() }
+
+// PipelineByFlag resolves a pipeline's short CLI name ("post",
+// "insitu", "intransit", "hybrid"); the error lists the valid names.
+func PipelineByFlag(name string) (Pipeline, error) { return core.PipelineByFlag(name) }
+
+// StageNames returns the canonical reporting order of the stage
+// phases appearing in Result.StageTime.
+func StageNames() []string { return core.StageNames() }
 
 // CaseStudy is one application configuration (I/O every k iterations).
 type CaseStudy = core.CaseStudy
@@ -185,14 +205,25 @@ func NewCluster(p Platform, link LinkParams, seed uint64) *Cluster {
 	return core.NewCluster(p, link, seed)
 }
 
-// InTransitResult captures a two-node in-transit run.
-type InTransitResult = core.InTransitResult
+// RunOnCluster executes one clustered pipeline (InTransit or Hybrid)
+// on a cluster.
+func RunOnCluster(c *Cluster, p Pipeline, cs CaseStudy, cfg Config) *Result {
+	return core.RunOnCluster(c, p, cs, cfg)
+}
 
 // RunInTransit executes the in-transit pipeline (Future Work): the
 // simulation ships each event's data over the network and the staging
-// node renders concurrently.
-func RunInTransit(c *Cluster, cs CaseStudy, cfg Config) *InTransitResult {
+// node renders concurrently. The Result splits Energy across
+// SimEnergy/StagingEnergy and reports the link traffic in BytesSent.
+func RunInTransit(c *Cluster, cs CaseStudy, cfg Config) *Result {
 	return core.RunInTransit(c, cs, cfg)
+}
+
+// RunHybrid executes the hybrid pipeline: in-situ rendering on the
+// simulation node plus asynchronous checkpoint offload over the link
+// to the staging node's disk.
+func RunHybrid(c *Cluster, cs CaseStudy, cfg Config) *Result {
+	return core.RunHybrid(c, cs, cfg)
 }
 
 // NVRAMParams describes the burst-buffer tier (set Platform.NVRAM).

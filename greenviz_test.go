@@ -29,8 +29,8 @@ func TestQuickstartFlow(t *testing.T) {
 
 func TestExperimentsRegistryViaFacade(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("Experiments() = %d entries, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("Experiments() = %d entries, want 24", len(exps))
 	}
 	s := NewSuite(3, nil)
 	r, err := RunExperiment(s, "table1")

@@ -1,24 +1,30 @@
-// Package core implements the paper's primary contribution: the two
+// Package core implements the paper's primary contribution: the
 // instrumented visualization pipelines — post-processing (simulate →
-// write → read → visualize) and in-situ (visualize alongside the
-// simulation) — their case-study configurations, and the greenness
+// write → read → visualize), in-situ (visualize alongside the
+// simulation), the multi-node in-transit variant, and a hybrid of the
+// last two — their case-study configurations, and the greenness
 // analysis the paper performs on them: performance, average and peak
 // power, energy, energy efficiency, the dynamic-vs-static breakdown of
 // the in-situ savings (§V-C), and the data-reorganization advisor of
 // §V-D and the Future Work section.
+//
+// Pipelines are not monolithic functions: each is a declarative spec
+// over the shared stage vocabulary of internal/core/stagegraph
+// (Simulate, WriteCheckpoint, Barrier, ReadCheckpoint, Render,
+// FrameFlush, NetTransfer, Recover, Encode), executed by one engine
+// that owns stage timing, trace-phase annotation, and the
+// retry/recovery policy uniformly. See specs.go for the four specs
+// and stages.go for the vocabulary.
 package core
 
 import (
 	"fmt"
-	"hash/fnv"
 
-	"repro/internal/checkpoint"
+	"repro/internal/core/stagegraph"
 	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/heat"
-	"repro/internal/node"
 	"repro/internal/storage"
-	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/viz"
 )
@@ -26,30 +32,88 @@ import (
 // Pipeline identifies which visualization pipeline a run uses.
 type Pipeline int
 
-// The two pipelines of the paper (Fig. 2).
+// The pipelines: the paper's two (Fig. 2), the Future Work in-transit
+// variant, and the hybrid shape the stage-graph engine enables
+// (in-situ rendering + asynchronous in-transit checkpoint offload, à
+// la Catalyst-ADIOS2).
 const (
 	PostProcessing Pipeline = iota
 	InSitu
+	InTransit
+	Hybrid
 )
 
 func (p Pipeline) String() string {
-	if p == InSitu {
+	switch p {
+	case InSitu:
 		return "in-situ"
+	case InTransit:
+		return "in-transit"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return "post-processing"
 	}
-	return "post-processing"
 }
+
+// Flag returns the pipeline's short CLI name (greenviz -pipeline).
+func (p Pipeline) Flag() string {
+	switch p {
+	case InSitu:
+		return "insitu"
+	case InTransit:
+		return "intransit"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return "post"
+	}
+}
+
+// Pipelines lists every pipeline, in declaration order. The CLI
+// derives its -pipeline help and dispatch from this list so new
+// pipelines cannot be forgotten.
+func Pipelines() []Pipeline {
+	return []Pipeline{PostProcessing, InSitu, InTransit, Hybrid}
+}
+
+// PipelineByFlag resolves a CLI short name; the error lists the valid
+// names in declaration order.
+func PipelineByFlag(name string) (Pipeline, error) {
+	var flags []string
+	for _, p := range Pipelines() {
+		if p.Flag() == name {
+			return p, nil
+		}
+		flags = append(flags, p.Flag())
+	}
+	return 0, fmt.Errorf("core: unknown pipeline %q (valid: %v)", name, flags)
+}
+
+// Clustered reports whether the pipeline needs a two-node Cluster
+// (RunOnCluster) rather than a single node (Run).
+func (p Pipeline) Clustered() bool { return p == InTransit || p == Hybrid }
 
 // Stage names used in phase annotations (Fig. 4's legend).
 // StageRecovery covers fault handling beyond plain retries: the
 // re-simulation of a checkpoint that could not be recovered from
-// storage.
+// storage. StageNet is the network-transfer stage of the in-transit
+// and hybrid pipelines.
 const (
 	StageSimulation = "simulation"
 	StageWrite      = "nnwrite"
 	StageRead       = "nnread"
 	StageViz        = "visualization"
 	StageRecovery   = "recovery"
+	StageNet        = "nettransfer"
 )
+
+// StageNames returns the canonical reporting order of the stage
+// phases — consumers printing per-stage times should iterate this
+// instead of hard-coding names, so new stages appear automatically.
+func StageNames() []string {
+	return []string{StageSimulation, StageWrite, StageRead, StageViz, StageNet, StageRecovery}
+}
 
 // Simulator is the proxy-application interface the pipelines drive.
 // internal/heat (the paper's app) and internal/ocean (a shallow-water
@@ -161,25 +225,14 @@ type AppConfig struct {
 	Retry RetryPolicy
 }
 
-// RetryPolicy bounds how a run responds to recoverable storage errors:
-// up to MaxAttempts tries per operation, with an exponential
-// simulated-time backoff starting at Backoff between attempts, all
-// charged to the run's time and energy ledgers. The zero value means
-// 3 attempts with a 0.5 s initial backoff.
-type RetryPolicy struct {
-	MaxAttempts int
-	Backoff     units.Seconds
-}
+// RetryPolicy bounds the recovery from recoverable storage errors;
+// the stage-graph engine enforces it uniformly across all pipelines.
+// The zero value means 3 attempts with a 0.5 s initial backoff.
+type RetryPolicy = stagegraph.RetryPolicy
 
-func (p RetryPolicy) withDefaults() RetryPolicy {
-	if p.MaxAttempts <= 0 {
-		p.MaxAttempts = 3
-	}
-	if p.Backoff <= 0 {
-		p.Backoff = 0.5
-	}
-	return p
-}
+// RecoveryStats accounts the fault handling one run performed; the
+// stage-graph engine's ledger accumulates it.
+type RecoveryStats = stagegraph.RecoveryStats
 
 // FaultSink is implemented by checkpoint stores that can route an
 // injected-fault stream into their own storage stack (the pfs store
@@ -187,97 +240,6 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // node directly and on a custom Store through this interface.
 type FaultSink interface {
 	SetFaults(*fault.Injector)
-}
-
-// RecoveryStats accounts the fault handling one run performed.
-type RecoveryStats struct {
-	// WriteRetries / ReadRetries count repeated attempts after a
-	// transient failure (the initial attempt is not counted).
-	WriteRetries, ReadRetries uint64
-	// LostWrites counts writes abandoned after the retry budget: a lost
-	// checkpoint is recovered later by re-simulation; a lost frame or
-	// reduced data product is simply absent from disk.
-	LostWrites uint64
-	// Resimulations counts checkpoints recomputed from initial
-	// conditions because storage could not produce an intact copy.
-	Resimulations uint64
-	// BackoffTime is the simulated time spent waiting between retries.
-	BackoffTime units.Seconds
-}
-
-// Total returns the number of recovery actions taken.
-func (s RecoveryStats) Total() uint64 {
-	return s.WriteRetries + s.ReadRetries + s.LostWrites + s.Resimulations
-}
-
-// CheckpointStore is where the post-processing pipeline keeps its
-// checkpoints: the node-local filesystem by default, or a remote
-// parallel filesystem (internal/pfs) in the Future Work experiments.
-// All calls block (advance virtual time) including durability.
-type CheckpointStore interface {
-	// WriteCheckpoint durably stores one checkpoint, replacing any
-	// earlier file of the same name (so a retry starts clean). A
-	// transient error leaves no usable checkpoint behind.
-	WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes) error
-	// ReadCheckpoint fetches a checkpoint back, cold, returning the
-	// field and the solver step/time recorded at capture.
-	ReadCheckpoint(name string) (*field.Grid, uint64, float64, error)
-	// Barrier separates the write and read phases (sync + drop caches
-	// or the distributed equivalent).
-	Barrier()
-}
-
-// localStore is the default CheckpointStore: the node's own disk
-// through its page cache and filesystem, fsync per checkpoint. It
-// carries a checkpoint.Encoder so the ~128 KiB encode buffer is reused
-// across the run's events; a store therefore serves one run at a time,
-// like the node it wraps.
-type localStore struct {
-	n      *node.Node
-	policy storage.AllocPolicy
-	async  bool
-	enc    *checkpoint.Encoder
-}
-
-func (s localStore) WriteCheckpoint(name string, g *field.Grid, step uint64, simTime float64, payload units.Bytes) error {
-	// Replace any partial file a failed earlier attempt left behind.
-	s.n.FS.Delete(name)
-	f := s.n.FS.Create(name, s.policy)
-	var err error
-	s.n.WithIO(func() {
-		if err = s.enc.Write(f, g, step, simTime, payload); err != nil {
-			return
-		}
-		if !s.async {
-			f.Fsync()
-		}
-	})
-	return err
-}
-
-func (s localStore) ReadCheckpoint(name string) (*field.Grid, uint64, float64, error) {
-	f := s.n.FS.Open(name)
-	if f == nil {
-		return nil, 0, 0, fmt.Errorf("core: checkpoint %q not found", name)
-	}
-	var g *field.Grid
-	var h checkpoint.Header
-	var err error
-	s.n.WithIO(func() {
-		h, g, err = checkpoint.Read(f)
-	})
-	if err != nil {
-		// Never hand out fields of a partially-decoded header.
-		return nil, 0, 0, err
-	}
-	return g, h.Step, h.SimTime, nil
-}
-
-func (s localStore) Barrier() {
-	s.n.WithIO(func() {
-		s.n.FS.Sync()
-		s.n.FS.DropCaches()
-	})
 }
 
 // DefaultAppConfig returns the paper's configuration, calibrated per
@@ -297,140 +259,6 @@ func DefaultAppConfig() AppConfig {
 	}
 }
 
-// RunResult captures everything the paper measures for one run.
-type RunResult struct {
-	Pipeline Pipeline
-	Case     CaseStudy
-
-	// Profile holds the instrument series (system, rapl.PKG,
-	// rapl.DRAM) and stage phase annotations.
-	Profile *trace.Profile
-
-	// ExecTime is the wall (virtual) duration of the run (Fig. 7).
-	ExecTime units.Seconds
-	// Energy is the exact full-system energy from the power bus
-	// (Fig. 10); MeasuredEnergy integrates the 1 Hz meter.
-	Energy         units.Joules
-	MeasuredEnergy units.Joules
-	// AvgPower and PeakPower come from the meter series (Figs. 8-9).
-	AvgPower, PeakPower units.Watts
-
-	// StageTime sums phase durations per stage (Fig. 4).
-	StageTime map[string]units.Seconds
-
-	// Frames is the number of visualization events performed;
-	// FrameChecksum fingerprints the rendered PNGs so tests can verify
-	// the two pipelines produce identical imagery.
-	Frames        int
-	FrameChecksum uint64
-	// FramePNGs holds the encoded frames when RetainFrames is set.
-	FramePNGs [][]byte
-
-	// BytesToDisk is total media traffic (for attribution).
-	BytesWritten, BytesRead units.Bytes
-
-	// CompressionRatio is the last measured payload compression ratio
-	// when CompressInsitu is enabled (0 otherwise).
-	CompressionRatio float64
-	// CinemaFrames counts extra image-database views rendered when
-	// CinemaVariants is set (not part of FrameChecksum).
-	CinemaFrames int
-
-	// Faults counts the injected storage faults this run absorbed (all
-	// zero when injection is off); Recovery accounts the retries,
-	// re-simulations, and backoff spent absorbing them.
-	Faults   fault.Stats
-	Recovery RecoveryStats
-}
-
-// EnergyEfficiency returns frames per kilojoule — the work/energy
-// metric behind Fig. 11.
-func (r *RunResult) EnergyEfficiency() float64 {
-	if r.Energy <= 0 {
-		return 0
-	}
-	return float64(r.Frames) / r.Energy.KJ()
-}
-
-// runner carries shared state for one pipeline execution.
-type runner struct {
-	n      *node.Node
-	cfg    AppConfig
-	cs     CaseStudy
-	solver Simulator
-	inst   *node.Instruments
-	res    *RunResult
-	hash   interface {
-		Write(p []byte) (int, error)
-		Sum64() uint64
-	}
-	frame int
-
-	faults *fault.Injector
-	retry  RetryPolicy
-}
-
-// Run executes one pipeline on a node and returns its measurements.
-// The node should be freshly created (or at least disk-quiet); a run
-// leaves its checkpoint and frame files on the node's filesystem.
-func Run(n *node.Node, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResult {
-	validate(cs, &cfg)
-	r := &runner{
-		n:      n,
-		cfg:    cfg,
-		cs:     cs,
-		solver: newSimulator(cfg),
-		hash:   fnv.New64a(),
-		retry:  cfg.Retry.withDefaults(),
-	}
-	if cfg.Faults != nil && cfg.Faults.Enabled() {
-		r.faults = fault.New(*cfg.Faults)
-		n.InstallFaults(r.faults)
-		if sink, ok := cfg.Store.(FaultSink); ok {
-			sink.SetFaults(r.faults)
-		}
-	}
-	r.inst = n.NewInstruments(fmt.Sprintf("%s/%s", p, cs.Name))
-	r.res = &RunResult{
-		Pipeline:  p,
-		Case:      cs,
-		Profile:   r.inst.Profile,
-		StageTime: map[string]units.Seconds{},
-	}
-
-	startT := n.Now()
-	startE := n.SystemEnergy()
-	d0 := n.DiskStats()
-	r.inst.Start()
-
-	switch p {
-	case PostProcessing:
-		r.runPostProcessing()
-	case InSitu:
-		r.runInSitu()
-	default:
-		panic(fmt.Sprintf("core: unknown pipeline %d", p))
-	}
-
-	n.WaitDiskIdle()
-	r.inst.Stop()
-
-	res := r.res
-	res.ExecTime = n.Now() - startT
-	res.Energy = n.SystemEnergy() - startE
-	sys := r.inst.Profile.SeriesByName("system")
-	res.MeasuredEnergy = units.Joules(sys.Integral())
-	st := sys.Summarize()
-	res.AvgPower = units.Watts(st.Mean)
-	res.PeakPower = units.Watts(st.Max)
-	res.FrameChecksum = r.hash.Sum64()
-	d1 := n.DiskStats()
-	res.BytesWritten = d1.BytesWritten - d0.BytesWritten
-	res.BytesRead = d1.BytesRead - d0.BytesRead
-	res.Faults = r.faults.Stats()
-	return res
-}
-
 func validate(cs CaseStudy, cfg *AppConfig) {
 	if cs.Iterations <= 0 || cs.IOInterval <= 0 {
 		panic(fmt.Sprintf("core: case study %+v needs positive iterations and interval", cs))
@@ -443,280 +271,5 @@ func validate(cs CaseStudy, cfg *AppConfig) {
 	}
 	if cfg.CheckpointPayload < 0 || cfg.InsituPayload < 0 {
 		panic("core: negative payload")
-	}
-}
-
-// stage runs fn and annotates its interval with the stage name.
-func (r *runner) stage(name string, fn func()) {
-	start := r.n.Now()
-	fn()
-	end := r.n.Now()
-	r.res.Profile.MarkPhase(name, start, end)
-	r.res.StageTime[name] += end - start
-}
-
-// simulateIteration advances one output iteration: RealSubsteps of real
-// physics, the full SubstepsPerIteration of charged compute.
-func (r *runner) simulateIteration() {
-	r.stage(StageSimulation, func() {
-		r.solver.Step(r.cfg.RealSubsteps)
-		r.n.Compute(r.solver.CellUpdates(r.cfg.SubstepsPerIteration))
-	})
-}
-
-// renderAnnotatedFrame renders a field and stamps the frame footer
-// (capture step/time) and colorbar — the frame a scientist monitors.
-// Both pipelines and the in-transit staging path use it, so identical
-// solver states yield byte-identical frames.
-func renderAnnotatedFrame(cfg AppConfig, g *field.Grid, step uint64, simTime float64) ([]byte, viz.RenderStats) {
-	img, stats := viz.Render(g, cfg.Render)
-	cm := cfg.Render.Colormap
-	if cm == nil {
-		cm = viz.Inferno()
-	}
-	lo, hi := cfg.Render.Lo, cfg.Render.Hi
-	if lo == hi {
-		lo, hi = g.MinMax()
-	}
-	viz.Annotate(img, viz.AnnotateOptions{
-		Step: step, SimTime: simTime, Colormap: cm, Lo: lo, Hi: hi,
-	})
-	png, err := viz.EncodePNG(img)
-	viz.ReleaseFrame(img)
-	if err != nil {
-		panic(fmt.Sprintf("core: PNG encode failed: %v", err))
-	}
-	return png, stats
-}
-
-// renderFrame renders + annotates, charges the render cost, and
-// returns the encoded PNG.
-func (r *runner) renderFrame(g *field.Grid, step uint64, simTime float64) []byte {
-	png, stats := renderAnnotatedFrame(r.cfg, g, step, simTime)
-	r.n.Render(stats.Pixels, stats.ContourCells, units.Bytes(len(png)))
-	r.hash.Write(png) //nolint:errcheck // fnv cannot fail
-	r.res.Frames++
-	if r.cfg.RetainFrames {
-		r.res.FramePNGs = append(r.res.FramePNGs, png)
-	}
-	return png
-}
-
-// backoff charges the exponential simulated-time wait before retry
-// attempt number attempt (1-based): Backoff, 2*Backoff, 4*Backoff, ...
-// The node sits idle — the time and its static energy land on the
-// run's ledgers like any other stall.
-func (r *runner) backoff(attempt int) {
-	d := r.retry.Backoff * units.Seconds(int64(1)<<uint(attempt-1))
-	r.n.Idle(d)
-	r.res.Recovery.BackoffTime += d
-}
-
-// writeRetry runs write under the retry budget and reports whether it
-// ever succeeded; a final failure counts as a lost write.
-func (r *runner) writeRetry(write func() error) bool {
-	err := write()
-	for attempt := 1; err != nil && attempt < r.retry.MaxAttempts; attempt++ {
-		r.backoff(attempt)
-		r.res.Recovery.WriteRetries++
-		err = write()
-	}
-	if err != nil {
-		r.res.Recovery.LostWrites++
-		return false
-	}
-	return true
-}
-
-// readRetry runs read under the retry budget and reports whether it
-// ever succeeded. Both transient errors and corruption (a tripped CRC)
-// are retried: bit-rot hits the delivered copy, not the media, so a
-// re-read can come back intact.
-func (r *runner) readRetry(read func() error) bool {
-	err := read()
-	for attempt := 1; err != nil && attempt < r.retry.MaxAttempts; attempt++ {
-		r.backoff(attempt)
-		r.res.Recovery.ReadRetries++
-		err = read()
-	}
-	return err == nil
-}
-
-// writeFrameFile stores an encoded frame on the filesystem. A write
-// that exhausts the retry budget leaves the frame absent from disk (it
-// still counts toward Frames and the checksum: the render happened).
-func (r *runner) writeFrameFile(png []byte) *storage.File {
-	f := r.n.FS.Create(fmt.Sprintf("frame-%04d.png", r.frame), storage.AllocContiguous)
-	r.frame++
-	r.writeRetry(func() error { return f.WriteAt(png, 0) })
-	return f
-}
-
-// ckptRef tracks one checkpoint through the pipeline: its store name,
-// the output iteration it captured, and whether the write phase gave
-// up on it (so the read phase goes straight to re-simulation).
-type ckptRef struct {
-	name string
-	iter int
-	lost bool
-}
-
-// runPostProcessing is the traditional pipeline: phase one simulates
-// and writes checkpoints (fsync each for durability); a sync +
-// drop_caches barrier separates the phases (§IV-C); phase two reads
-// every checkpoint back cold and visualizes it.
-//
-// Storage errors are recoverable, never fatal: writes and reads retry
-// under the run's RetryPolicy, and a checkpoint storage cannot produce
-// intact is re-simulated from the initial conditions — the solver is
-// deterministic, so the recomputed field (and thus the rendered frame)
-// is identical to the lost one. Every recovery path is charged to the
-// virtual time and energy ledgers.
-func (r *runner) runPostProcessing() {
-	n, cfg, cs := r.n, r.cfg, r.cs
-	store := cfg.Store
-	if store == nil {
-		store = localStore{n: n, policy: cfg.CheckpointPolicy, async: cfg.AsyncCheckpoint, enc: &checkpoint.Encoder{}}
-	}
-	var ckpts []ckptRef
-	for i := 1; i <= cs.Iterations; i++ {
-		r.simulateIteration()
-		if i%cs.IOInterval != 0 {
-			continue
-		}
-		c := ckptRef{name: fmt.Sprintf("ckpt-%04d", i), iter: i}
-		r.stage(StageWrite, func() {
-			c.lost = !r.writeRetry(func() error {
-				return store.WriteCheckpoint(c.name, r.solver.Field(), r.solver.Steps(), r.solver.Time(), cfg.CheckpointPayload)
-			})
-		})
-		ckpts = append(ckpts, c)
-	}
-
-	// Phase barrier: sync and drop caches so reads hit the media.
-	store.Barrier()
-
-	for _, c := range ckpts {
-		var g *field.Grid
-		var step uint64
-		var simTime float64
-		ok := false
-		if !c.lost {
-			r.stage(StageRead, func() {
-				ok = r.readRetry(func() error {
-					var err error
-					g, step, simTime, err = store.ReadCheckpoint(c.name)
-					return err
-				})
-			})
-		}
-		if !ok {
-			// The checkpoint is gone (write gave up) or unreadable after
-			// the retry budget: recompute its field from the initial
-			// conditions.
-			r.stage(StageRecovery, func() {
-				g, step, simTime = r.resimulate(c.iter)
-				r.res.Recovery.Resimulations++
-			})
-		}
-		r.stage(StageViz, func() {
-			png := r.renderFrame(g, step, simTime)
-			n.WithIO(func() { r.writeFrameFile(png) })
-		})
-	}
-	n.WithIO(func() { n.FS.Sync() })
-}
-
-// resimulate recomputes the field of output iteration iter by stepping
-// a fresh solver from the initial conditions, charging the same compute
-// cost per iteration as the original pass. Determinism makes the
-// recovered field bit-identical to the one the lost checkpoint held.
-func (r *runner) resimulate(iter int) (*field.Grid, uint64, float64) {
-	solver := newSimulator(r.cfg)
-	for i := 1; i <= iter; i++ {
-		solver.Step(r.cfg.RealSubsteps)
-		r.n.Compute(solver.CellUpdates(r.cfg.SubstepsPerIteration))
-	}
-	return solver.Field(), solver.Steps(), solver.Time()
-}
-
-// runInSitu is the coupled pipeline: each I/O event renders directly
-// from the live field and synchronously flushes the frame plus a
-// reduced data product so the scientist can monitor the run.
-func (r *runner) runInSitu() {
-	n, cfg, cs := r.n, r.cfg, r.cs
-	for i := 1; i <= cs.Iterations; i++ {
-		r.simulateIteration()
-		if i%cs.IOInterval != 0 {
-			continue
-		}
-		r.stage(StageViz, func() {
-			png := r.renderFrame(r.solver.Field(), r.solver.Steps(), r.solver.Time())
-			r.renderCinemaVariants(i)
-			payload := cfg.InsituPayload
-			if cfg.CompressInsitu {
-				// Measure the real compression ratio on this event's
-				// field and charge the compression pass.
-				ratio, err := viz.CompressionRatio(r.solver.Field())
-				if err != nil {
-					panic(fmt.Sprintf("core: compression failed: %v", err))
-				}
-				if ratio > 1 {
-					payload = units.Bytes(float64(payload) / ratio)
-				}
-				n.Compress(cfg.InsituPayload)
-				r.res.CompressionRatio = ratio
-			}
-			n.WithIO(func() {
-				f := r.writeFrameFile(png)
-				reduced := n.FS.Create(fmt.Sprintf("reduced-%04d", i), storage.AllocContiguous)
-				r.writeRetry(func() error { return reduced.AppendSparse(payload) })
-				if !cfg.InsituNoSync {
-					f.Fsync()
-					reduced.Fsync()
-				}
-			})
-		})
-	}
-	n.WithIO(func() { n.FS.Sync() })
-}
-
-// renderCinemaVariants renders the image-database views of one event
-// (Ahrens et al. [12]): real renders under varied visualization
-// parameters, stored alongside the primary frame. They restore post-hoc
-// exploration without shipping the raw data.
-func (r *runner) renderCinemaVariants(event int) {
-	cfg := r.cfg
-	if cfg.CinemaVariants <= 0 {
-		return
-	}
-	g := r.solver.Field()
-	lo, hi := g.MinMax()
-	if lo == hi {
-		hi = lo + 1
-	}
-	maps := []*viz.Colormap{viz.Inferno(), viz.CoolWarm(), viz.Grayscale()}
-	for k := 0; k < cfg.CinemaVariants; k++ {
-		opts := cfg.Render
-		opts.Colormap = maps[k%len(maps)]
-		// Sweep the isoline level across the field range per variant.
-		level := lo + (hi-lo)*float64(k+1)/float64(cfg.CinemaVariants+1)
-		opts.Isolines = []float64{level}
-		img, stats := viz.Render(g, opts)
-		viz.Annotate(img, viz.AnnotateOptions{
-			Step: r.solver.Steps(), SimTime: r.solver.Time(),
-			Colormap: opts.Colormap, Lo: lo, Hi: hi,
-		})
-		png, err := viz.EncodePNG(img)
-		viz.ReleaseFrame(img)
-		if err != nil {
-			panic(fmt.Sprintf("core: cinema encode failed: %v", err))
-		}
-		r.n.Render(stats.Pixels, stats.ContourCells, units.Bytes(len(png)))
-		r.res.CinemaFrames++
-		r.n.WithIO(func() {
-			f := r.n.FS.Create(fmt.Sprintf("cinema-%04d-%02d.png", event, k), storage.AllocContiguous)
-			r.writeRetry(func() error { return f.WriteAt(png, 0) })
-		})
 	}
 }

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// greenness.go is the single implementation of the paper's greenness
+// metrics. Every pipeline — single-node or clustered — derives its
+// average/peak power, measured energy, and energy efficiency from
+// these helpers; no pipeline computes them privately.
+
+// summarizeMeter extracts the meter-derived metrics from a run's
+// instrument profile: the integrated 1 Hz meter energy (Fig. 10's
+// measured companion) and the average and peak wall power (Figs. 8-9).
+func summarizeMeter(p *trace.Profile) (measured units.Joules, avg, peak units.Watts) {
+	sys := p.SeriesByName("system")
+	st := sys.Summarize()
+	return units.Joules(sys.Integral()), units.Watts(st.Mean), units.Watts(st.Max)
+}
+
+// efficiency returns work units per kilojoule (Fig. 11's metric);
+// non-positive energy yields 0.
+func efficiency(work int, e units.Joules) float64 {
+	if e <= 0 {
+		return 0
+	}
+	return float64(work) / e.KJ()
+}
+
+// pctLower returns how much lower b is than a, in percent.
+func pctLower(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a * 100
+}

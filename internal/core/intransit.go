@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"hash/fnv"
 
+	"repro/internal/core/stagegraph"
 	"repro/internal/netio"
 	"repro/internal/node"
 	"repro/internal/power"
@@ -12,12 +14,15 @@ import (
 	"repro/internal/viz"
 )
 
-// Cluster is the two-node in-transit platform of the Future Work
-// multi-node study: a simulation node and a visualization staging node
-// sharing one virtual clock, connected by a network link. The
-// simulation ships each I/O event's data over the link; the staging
-// node renders and stores frames *concurrently* with the next
-// simulation iterations (Bennett et al. [10]; Gamell et al. [24]).
+// Cluster is the two-node platform of the Future Work multi-node
+// study: a simulation node and a visualization staging node sharing
+// one virtual clock, connected by a network link. The in-transit
+// pipeline ships each I/O event's data over the link; the staging node
+// renders and stores frames *concurrently* with the next simulation
+// iterations (Bennett et al. [10]; Gamell et al. [24]). The hybrid
+// pipeline renders in situ on the simulation node and uses the link
+// only to offload checkpoints to the staging disk asynchronously
+// (Catalyst-ADIOS2 style).
 type Cluster struct {
 	Engine  *sim.Engine
 	Sim     *node.Node
@@ -49,81 +54,207 @@ func (c *Cluster) StopNoise() {
 	c.Staging.StopNoise()
 }
 
-// InTransitResult captures a two-node run. Energy is reported three
-// ways because the right accounting depends on the deployment: the
-// simulation node alone (staging shared/amortized across jobs), the
-// staging node alone, and the whole cluster.
-type InTransitResult struct {
-	Case     CaseStudy
-	ExecTime units.Seconds
+// clusterRunner extends the single-node runner with the cluster
+// substrate; the shared stage bodies (simulate, the in-situ viz event)
+// run unchanged with r.n bound to the cluster's simulation node.
+type clusterRunner struct {
+	runner
+	c *Cluster
+}
 
-	SimEnergy     units.Joules
-	StagingEnergy units.Joules
-	TotalEnergy   units.Joules
+// RunOnCluster executes one clustered pipeline (in-transit or hybrid)
+// and returns its measurements. Cluster runs are uninstrumented — no
+// meter is attached, so Profile stays nil and the meter-derived fields
+// (MeasuredEnergy, AvgPower, PeakPower) are zero — but the exact
+// power-bus energy is split per node in SimEnergy/StagingEnergy.
+func RunOnCluster(c *Cluster, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResult {
+	if !p.Clustered() {
+		panic(fmt.Sprintf("core: pipeline %s runs on a single node; use Run", p))
+	}
+	validate(cs, &cfg)
+	r := &clusterRunner{
+		runner: runner{
+			n:      c.Sim,
+			cfg:    cfg,
+			cs:     cs,
+			solver: newSimulator(cfg),
+			hash:   fnv.New64a(),
+		},
+		c: c,
+	}
+	ledger := stagegraph.NewLedger(nil)
+	r.res = &RunResult{
+		Pipeline:  p,
+		Case:      cs,
+		StageTime: ledger.StageTime,
+	}
+	eng := stagegraph.New(c.Sim, ledger, cfg.Retry)
 
-	Frames        int
-	FrameChecksum uint64
-	BytesSent     units.Bytes
-	// StagingBusy is how long the staging node actually rendered; its
-	// idle remainder is the cost of dedicating a node to visualization.
-	StagingBusy units.Seconds
+	startT := c.Engine.Now()
+	simE0 := c.Sim.SystemEnergy()
+	stgE0 := c.Staging.SystemEnergy()
+
+	if err := eng.Run(r.spec(p)); err != nil {
+		panic(fmt.Sprintf("core: invalid %s spec: %v", p, err))
+	}
+
+	// Drain the staging side.
+	c.drain()
+
+	res := r.res
+	res.ExecTime = c.Engine.Now() - startT
+	res.SimEnergy = c.Sim.SystemEnergy() - simE0
+	res.StagingEnergy = c.Staging.SystemEnergy() - stgE0
+	res.Energy = res.SimEnergy + res.StagingEnergy
+	res.FrameChecksum = r.hash.Sum64()
+	res.StagingBusy = c.stagingCPU.BusyTime()
+	res.Faults = r.faults.Stats()
+	res.Recovery = ledger.Recovery
+	return res
 }
 
 // RunInTransit executes the in-transit pipeline on a cluster: simulate
 // on the sim node; per I/O event ship the full checkpoint payload to
 // the staging node, which renders and stores the frame asynchronously.
 // The simulation blocks only for the network transfer.
-func RunInTransit(c *Cluster, cs CaseStudy, cfg AppConfig) *InTransitResult {
-	validate(cs, &cfg)
-	solver := newSimulator(cfg)
-	hash := fnv.New64a()
-	res := &InTransitResult{Case: cs}
+func RunInTransit(c *Cluster, cs CaseStudy, cfg AppConfig) *RunResult {
+	return RunOnCluster(c, InTransit, cs, cfg)
+}
 
-	startT := c.Engine.Now()
-	simE0 := c.Sim.SystemEnergy()
-	stgE0 := c.Staging.SystemEnergy()
+// RunHybrid executes the hybrid pipeline on a cluster: render in situ
+// on the simulation node (the full in-situ visualization event,
+// unchanged), and additionally offload each event's checkpoint payload
+// over the link to the staging node's disk, asynchronously — in-situ
+// monitoring with post-hoc restart data, without the local ~188 MiB
+// round trip the post-processing pipeline pays.
+func RunHybrid(c *Cluster, cs CaseStudy, cfg AppConfig) *RunResult {
+	return RunOnCluster(c, Hybrid, cs, cfg)
+}
+
+// spec returns clustered pipeline p's declarative spec bound to this
+// runner.
+func (r *clusterRunner) spec(p Pipeline) stagegraph.Spec {
+	switch p {
+	case InTransit:
+		return r.intransitSpec()
+	case Hybrid:
+		return r.hybridSpec()
+	default:
+		panic(fmt.Sprintf("core: unknown clustered pipeline %d", p))
+	}
+}
+
+// intransitSpec ships every event's data to the staging node, which
+// renders asynchronously.
+func (r *clusterRunner) intransitSpec() stagegraph.Spec {
+	return stagegraph.Spec{
+		Name:   "in-transit",
+		Inputs: []string{"solver", "config"},
+		Stages: []stagegraph.Stage{
+			onNode(stgSimulate, bindSim, bindSimDisk),
+			stgEncodeHost, stgNetTransfer, stgStageRender, stgStageFlush,
+		},
+		Program: r.intransitProgram,
+	}
+}
+
+func (r *clusterRunner) intransitProgram(x *stagegraph.Exec) {
+	c, cfg, cs := r.c, r.cfg, r.cs
 	payload := TotalSizeForGrid(cfg)
-
+	simStage := onNode(stgSimulate, bindSim, bindSimDisk)
 	for i := 1; i <= cs.Iterations; i++ {
 		// Simulate on the sim node (foreground; staging events fire
 		// underneath).
-		solver.Step(cfg.RealSubsteps)
-		c.Sim.Compute(solver.CellUpdates(cfg.SubstepsPerIteration))
+		r.simulateIteration(x, simStage)
 		if i%cs.IOInterval != 0 {
 			continue
 		}
 
 		// Render the real frame now (host-side); its virtual cost is
 		// charged on the staging node when the data arrives.
-		png, stats := renderAnnotatedFrame(cfg, solver.Field(), solver.Steps(), solver.Time())
-		hash.Write(png) //nolint:errcheck // fnv cannot fail
-		res.Frames++
+		var png []byte
+		var stats viz.RenderStats
+		x.Do(stgEncodeHost, func() {
+			png, stats = renderAnnotatedFrame(cfg, r.solver.Field(), r.solver.Steps(), r.solver.Time())
+			r.hash.Write(png) //nolint:errcheck // fnv cannot fail
+			r.res.Frames++
+		})
 
 		// Ship the event's data; the simulation blocks only for the
 		// serialized transfer.
-		c.Sim.SetLoad(c.Sim.Profile.IOCores, power.IntensityIO, c.Sim.Profile.IODRAMGBs)
-		end := c.Link.Send(payload, func() {
-			c.stageRender(stats, units.Bytes(len(png)))
+		x.Do(stgNetTransfer, func() {
+			c.Sim.SetLoad(c.Sim.Profile.IOCores, power.IntensityIO, c.Sim.Profile.IODRAMGBs)
+			end := c.Link.Send(payload, func() {
+				c.stageRender(stats, units.Bytes(len(png)))
+			})
+			c.Engine.AdvanceTo(end)
+			c.Sim.SetIdle()
+			r.res.BytesSent += payload
 		})
-		c.Engine.AdvanceTo(end)
-		c.Sim.SetIdle()
-		res.BytesSent += payload
 	}
-
-	// Drain the staging side.
-	c.drain()
-
-	res.ExecTime = c.Engine.Now() - startT
-	res.SimEnergy = c.Sim.SystemEnergy() - simE0
-	res.StagingEnergy = c.Staging.SystemEnergy() - stgE0
-	res.TotalEnergy = res.SimEnergy + res.StagingEnergy
-	res.FrameChecksum = hash.Sum64()
-	res.StagingBusy = c.stagingCPU.BusyTime()
-	return res
 }
 
-// TotalSizeForGrid returns the per-event payload the in-transit
-// pipeline ships: the checkpoint-equivalent data product.
+// simInsituStages is the in-situ event vocabulary rebound to the
+// cluster's simulation node, so the hybrid pipeline runs the exact
+// single-node visualization event there.
+func simInsituStages() insituStages {
+	return insituStages{
+		render:   onNode(stgRenderLive, bindSim, bindSimDisk),
+		variants: onNode(stgRenderVariants, bindSim, bindSimDisk),
+		compress: onNode(stgCompress, bindSim, bindSimDisk),
+		flush:    onNode(stgFrameFlush, bindSim, bindSimDisk),
+	}
+}
+
+// hybridSpec renders in situ on the simulation node and offloads each
+// event's checkpoint payload to the staging disk over the link.
+func (r *clusterRunner) hybridSpec() stagegraph.Spec {
+	st := simInsituStages()
+	return stagegraph.Spec{
+		Name:   "hybrid",
+		Inputs: []string{"solver", "config"},
+		Stages: []stagegraph.Stage{
+			onNode(stgSimulate, bindSim, bindSimDisk),
+			st.render, st.variants, st.compress, st.flush,
+			stgNetTransfer, stgStageCkpt,
+			onNode(stgBarrier, bindSim, bindSimDisk),
+		},
+		Program: r.hybridProgram,
+	}
+}
+
+func (r *clusterRunner) hybridProgram(x *stagegraph.Exec) {
+	c, cs := r.c, r.cs
+	payload := TotalSizeForGrid(r.cfg)
+	simStage := onNode(stgSimulate, bindSim, bindSimDisk)
+	st := simInsituStages()
+	for i := 1; i <= cs.Iterations; i++ {
+		r.simulateIteration(x, simStage)
+		if i%cs.IOInterval != 0 {
+			continue
+		}
+		// The unchanged in-situ visualization event, on the sim node.
+		r.insituVizEvent(x, st, i)
+		// Offload the checkpoint payload; the simulation blocks only
+		// for the serialized transfer, the staging disk absorbs the
+		// write asynchronously.
+		x.Do(stgNetTransfer, func() {
+			c.Sim.SetLoad(c.Sim.Profile.IOCores, power.IntensityIO, c.Sim.Profile.IODRAMGBs)
+			end := c.Link.Send(payload, func() {
+				c.offloadCheckpoint(payload)
+			})
+			c.Engine.AdvanceTo(end)
+			c.Sim.SetIdle()
+			r.res.BytesSent += payload
+		})
+	}
+	x.Do(onNode(stgBarrier, bindSim, bindSimDisk), func() {
+		c.Sim.WithIO(func() { c.Sim.FS.Sync() })
+	})
+}
+
+// TotalSizeForGrid returns the per-event payload the clustered
+// pipelines ship: the checkpoint-equivalent data product.
 func TotalSizeForGrid(cfg AppConfig) units.Bytes {
 	return units.Bytes(cfg.Heat.NX*cfg.Heat.NY*8) + cfg.CheckpointPayload
 }
@@ -153,6 +284,23 @@ func (c *Cluster) stageRender(stats viz.RenderStats, pngBytes units.Bytes) {
 		off := c.frameOff
 		c.frameOff += pngBytes
 		c.Staging.Device.Submit(storage.OpWrite, off, pngBytes, nil)
+	})
+}
+
+// offloadCheckpoint lands one shipped checkpoint payload on the
+// staging node's disk (direct I/O), bracketing the write with the
+// staging node's I/O operating point. It fires from the link's
+// delivery callback, concurrent with the next simulation iterations.
+func (c *Cluster) offloadCheckpoint(payload units.Bytes) {
+	p := c.Staging.Profile
+	c.Staging.SetLoad(p.IOCores, power.IntensityIO, p.IODRAMGBs)
+	off := c.frameOff
+	c.frameOff += payload
+	end := c.Staging.Device.Submit(storage.OpWrite, off, payload, nil)
+	c.Engine.At(end, func() {
+		if c.Staging.Device.FreeAt() <= end {
+			c.Staging.SetIdle()
+		}
 	})
 }
 

@@ -51,8 +51,8 @@ func TestInTransitFasterThanInSituButCostsSecondNode(t *testing.T) {
 	}
 	// But the second node's static floor makes the *cluster* energy
 	// worse than in-situ — the deployment caveat Gamell et al. observe.
-	if it.TotalEnergy <= ins.Energy {
-		t.Errorf("two-node total %v unexpectedly below one-node in-situ %v", it.TotalEnergy, ins.Energy)
+	if it.Energy <= ins.Energy {
+		t.Errorf("two-node total %v unexpectedly below one-node in-situ %v", it.Energy, ins.Energy)
 	}
 	// Charged to the simulation node alone, in-transit is the greenest.
 	if it.SimEnergy >= ins.Energy {
@@ -63,7 +63,7 @@ func TestInTransitFasterThanInSituButCostsSecondNode(t *testing.T) {
 func TestInTransitEnergyComponentsSum(t *testing.T) {
 	cs := CaseStudies()[2]
 	r := RunInTransit(testCluster(27), cs, testConfig())
-	if r.TotalEnergy != r.SimEnergy+r.StagingEnergy {
+	if r.Energy != r.SimEnergy+r.StagingEnergy {
 		t.Error("energy components do not sum")
 	}
 	if r.SimEnergy <= 0 || r.StagingEnergy <= 0 {
@@ -90,7 +90,7 @@ func TestClusterDeterminism(t *testing.T) {
 	cs := CaseStudy{Name: "tiny", Iterations: 3, IOInterval: 1}
 	a := RunInTransit(testCluster(31), cs, testConfig())
 	b := RunInTransit(testCluster(31), cs, testConfig())
-	if a.ExecTime != b.ExecTime || a.TotalEnergy != b.TotalEnergy {
+	if a.ExecTime != b.ExecTime || a.Energy != b.Energy {
 		t.Error("same-seed clusters diverged")
 	}
 }

@@ -29,14 +29,6 @@ func Compare(post, insitu *RunResult) Comparison {
 	return Comparison{Case: post.Case, Post: post, InSitu: insitu}
 }
 
-// pctLower returns how much lower b is than a, in percent.
-func pctLower(a, b float64) float64 {
-	if a == 0 {
-		return 0
-	}
-	return (a - b) / a * 100
-}
-
 // TimeReductionPct is how much lower the in-situ execution time is (Fig. 7).
 func (c Comparison) TimeReductionPct() float64 {
 	return pctLower(float64(c.Post.ExecTime), float64(c.InSitu.ExecTime))

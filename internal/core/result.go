@@ -1,0 +1,78 @@
+package core
+
+import (
+	"repro/internal/fault"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// RunResult captures everything the paper measures for one run — of
+// any pipeline. Single-node runs (post-processing, in-situ) fill the
+// instrumented fields; cluster runs (in-transit, hybrid) additionally
+// split Energy across the two nodes and account the network.
+type RunResult struct {
+	Pipeline Pipeline
+	Case     CaseStudy
+
+	// Profile holds the instrument series (system, rapl.PKG,
+	// rapl.DRAM) and stage phase annotations. Cluster runs are
+	// uninstrumented (no meter attached) and leave it nil.
+	Profile *trace.Profile
+
+	// ExecTime is the wall (virtual) duration of the run (Fig. 7).
+	ExecTime units.Seconds
+	// Energy is the exact full-system energy from the power bus
+	// (Fig. 10) — for cluster runs, summed over both nodes;
+	// MeasuredEnergy integrates the 1 Hz meter.
+	Energy         units.Joules
+	MeasuredEnergy units.Joules
+	// AvgPower and PeakPower come from the meter series (Figs. 8-9).
+	AvgPower, PeakPower units.Watts
+
+	// StageTime sums phase durations per stage (Fig. 4); it is the
+	// stage-graph engine's time ledger.
+	StageTime map[string]units.Seconds
+
+	// Frames is the number of visualization events performed;
+	// FrameChecksum fingerprints the rendered PNGs so tests can verify
+	// the pipelines produce identical imagery.
+	Frames        int
+	FrameChecksum uint64
+	// FramePNGs holds the encoded frames when RetainFrames is set.
+	FramePNGs [][]byte
+
+	// BytesToDisk is total media traffic (for attribution).
+	BytesWritten, BytesRead units.Bytes
+
+	// CompressionRatio is the last measured payload compression ratio
+	// when CompressInsitu is enabled (0 otherwise).
+	CompressionRatio float64
+	// CinemaFrames counts extra image-database views rendered when
+	// CinemaVariants is set (not part of FrameChecksum).
+	CinemaFrames int
+
+	// Faults counts the injected storage faults this run absorbed (all
+	// zero when injection is off); Recovery accounts the retries,
+	// re-simulations, and backoff spent absorbing them.
+	Faults   fault.Stats
+	Recovery RecoveryStats
+
+	// SimEnergy and StagingEnergy split Energy between the simulation
+	// and staging nodes of a cluster run. Energy is reported both ways
+	// because the right accounting depends on the deployment: the
+	// simulation node alone (staging shared/amortized across jobs) or
+	// the whole cluster. Zero for single-node runs.
+	SimEnergy, StagingEnergy units.Joules
+	// BytesSent is the network traffic a cluster run shipped over the
+	// link (zero for single-node runs).
+	BytesSent units.Bytes
+	// StagingBusy is how long the staging node actually worked; its
+	// idle remainder is the cost of dedicating a node to the pipeline.
+	StagingBusy units.Seconds
+}
+
+// EnergyEfficiency returns frames per kilojoule — the work/energy
+// metric behind Fig. 11.
+func (r *RunResult) EnergyEfficiency() float64 {
+	return efficiency(r.Frames, r.Energy)
+}

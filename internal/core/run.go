@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core/stagegraph"
+	"repro/internal/fault"
+	"repro/internal/field"
+	"repro/internal/node"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/viz"
+)
+
+// runner carries shared state for one pipeline execution. The
+// cross-cutting concerns the old monolithic runners hand-rolled —
+// stage timing, phase annotation, retry/backoff — live in the
+// stagegraph engine now; the runner holds only the application state
+// the stage bodies close over.
+type runner struct {
+	n      *node.Node
+	cfg    AppConfig
+	cs     CaseStudy
+	solver Simulator
+	res    *RunResult
+	hash   interface {
+		Write(p []byte) (int, error)
+		Sum64() uint64
+	}
+	frame int
+
+	faults *fault.Injector
+}
+
+// Run executes one single-node pipeline on a node and returns its
+// measurements. The node should be freshly created (or at least
+// disk-quiet); a run leaves its checkpoint and frame files on the
+// node's filesystem. Clustered pipelines (in-transit, hybrid) need a
+// Cluster — use RunOnCluster.
+func Run(n *node.Node, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResult {
+	if p.Clustered() {
+		panic(fmt.Sprintf("core: pipeline %s runs on a cluster; use RunOnCluster", p))
+	}
+	validate(cs, &cfg)
+	r := &runner{
+		n:      n,
+		cfg:    cfg,
+		cs:     cs,
+		solver: newSimulator(cfg),
+		hash:   fnv.New64a(),
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		r.faults = fault.New(*cfg.Faults)
+		n.InstallFaults(r.faults)
+		if sink, ok := cfg.Store.(FaultSink); ok {
+			sink.SetFaults(r.faults)
+		}
+	}
+	inst := n.NewInstruments(fmt.Sprintf("%s/%s", p, cs.Name))
+	ledger := stagegraph.NewLedger(inst.Profile)
+	r.res = &RunResult{
+		Pipeline:  p,
+		Case:      cs,
+		Profile:   inst.Profile,
+		StageTime: ledger.StageTime,
+	}
+	eng := stagegraph.New(n, ledger, cfg.Retry)
+
+	startT := n.Now()
+	startE := n.SystemEnergy()
+	d0 := n.DiskStats()
+	inst.Start()
+
+	if err := eng.Run(r.spec(p)); err != nil {
+		panic(fmt.Sprintf("core: invalid %s spec: %v", p, err))
+	}
+
+	n.WaitDiskIdle()
+	inst.Stop()
+
+	res := r.res
+	res.ExecTime = n.Now() - startT
+	res.Energy = n.SystemEnergy() - startE
+	res.MeasuredEnergy, res.AvgPower, res.PeakPower = summarizeMeter(inst.Profile)
+	res.FrameChecksum = r.hash.Sum64()
+	d1 := n.DiskStats()
+	res.BytesWritten = d1.BytesWritten - d0.BytesWritten
+	res.BytesRead = d1.BytesRead - d0.BytesRead
+	res.Faults = r.faults.Stats()
+	res.Recovery = ledger.Recovery
+	return res
+}
+
+// simulateIteration advances one output iteration: RealSubsteps of real
+// physics, the full SubstepsPerIteration of charged compute. sim is the
+// spec's Simulate stage (bound to the node, or to a cluster's sim
+// node).
+func (r *runner) simulateIteration(x *stagegraph.Exec, sim stagegraph.Stage) {
+	x.Do(sim, func() {
+		r.solver.Step(r.cfg.RealSubsteps)
+		r.n.Compute(r.solver.CellUpdates(r.cfg.SubstepsPerIteration))
+	})
+}
+
+// renderAnnotatedFrame renders a field and stamps the frame footer
+// (capture step/time) and colorbar — the frame a scientist monitors.
+// Every pipeline and the in-transit staging path use it, so identical
+// solver states yield byte-identical frames.
+func renderAnnotatedFrame(cfg AppConfig, g *field.Grid, step uint64, simTime float64) ([]byte, viz.RenderStats) {
+	img, stats := viz.Render(g, cfg.Render)
+	cm := cfg.Render.Colormap
+	if cm == nil {
+		cm = viz.Inferno()
+	}
+	lo, hi := cfg.Render.Lo, cfg.Render.Hi
+	if lo == hi {
+		lo, hi = g.MinMax()
+	}
+	viz.Annotate(img, viz.AnnotateOptions{
+		Step: step, SimTime: simTime, Colormap: cm, Lo: lo, Hi: hi,
+	})
+	png, err := viz.EncodePNG(img)
+	viz.ReleaseFrame(img)
+	if err != nil {
+		panic(fmt.Sprintf("core: PNG encode failed: %v", err))
+	}
+	return png, stats
+}
+
+// renderFrame renders + annotates, charges the render cost, and
+// returns the encoded PNG.
+func (r *runner) renderFrame(g *field.Grid, step uint64, simTime float64) []byte {
+	png, stats := renderAnnotatedFrame(r.cfg, g, step, simTime)
+	r.n.Render(stats.Pixels, stats.ContourCells, units.Bytes(len(png)))
+	r.hash.Write(png) //nolint:errcheck // fnv cannot fail
+	r.res.Frames++
+	if r.cfg.RetainFrames {
+		r.res.FramePNGs = append(r.res.FramePNGs, png)
+	}
+	return png
+}
+
+// writeFrameFile stores an encoded frame on the filesystem. A write
+// that exhausts the retry budget leaves the frame absent from disk (it
+// still counts toward Frames and the checksum: the render happened).
+func (r *runner) writeFrameFile(x *stagegraph.Exec, png []byte) *storage.File {
+	f := r.n.FS.Create(fmt.Sprintf("frame-%04d.png", r.frame), storage.AllocContiguous)
+	r.frame++
+	x.WriteRetry(func() error { return f.WriteAt(png, 0) })
+	return f
+}
+
+// resimulate recomputes the field of output iteration iter by stepping
+// a fresh solver from the initial conditions, charging the same compute
+// cost per iteration as the original pass. Determinism makes the
+// recovered field bit-identical to the one the lost checkpoint held.
+func (r *runner) resimulate(iter int) (*field.Grid, uint64, float64) {
+	solver := newSimulator(r.cfg)
+	for i := 1; i <= iter; i++ {
+		solver.Step(r.cfg.RealSubsteps)
+		r.n.Compute(solver.CellUpdates(r.cfg.SubstepsPerIteration))
+	}
+	return solver.Field(), solver.Steps(), solver.Time()
+}
+
+// renderCinemaVariants renders the image-database views of one event
+// (Ahrens et al. [12]): real renders under varied visualization
+// parameters, stored alongside the primary frame. They restore post-hoc
+// exploration without shipping the raw data. variants is the spec's
+// (untimed) variant-render stage; it nests inside the visualization
+// stage like the renders themselves do.
+func (r *runner) renderCinemaVariants(x *stagegraph.Exec, variants stagegraph.Stage, event int) {
+	cfg := r.cfg
+	if cfg.CinemaVariants <= 0 {
+		return
+	}
+	x.Do(variants, func() {
+		g := r.solver.Field()
+		lo, hi := g.MinMax()
+		if lo == hi {
+			hi = lo + 1
+		}
+		maps := []*viz.Colormap{viz.Inferno(), viz.CoolWarm(), viz.Grayscale()}
+		for k := 0; k < cfg.CinemaVariants; k++ {
+			opts := cfg.Render
+			opts.Colormap = maps[k%len(maps)]
+			// Sweep the isoline level across the field range per variant.
+			level := lo + (hi-lo)*float64(k+1)/float64(cfg.CinemaVariants+1)
+			opts.Isolines = []float64{level}
+			img, stats := viz.Render(g, opts)
+			viz.Annotate(img, viz.AnnotateOptions{
+				Step: r.solver.Steps(), SimTime: r.solver.Time(),
+				Colormap: opts.Colormap, Lo: lo, Hi: hi,
+			})
+			png, err := viz.EncodePNG(img)
+			viz.ReleaseFrame(img)
+			if err != nil {
+				panic(fmt.Sprintf("core: cinema encode failed: %v", err))
+			}
+			r.n.Render(stats.Pixels, stats.ContourCells, units.Bytes(len(png)))
+			r.res.CinemaFrames++
+			r.n.WithIO(func() {
+				f := r.n.FS.Create(fmt.Sprintf("cinema-%04d-%02d.png", event, k), storage.AllocContiguous)
+				x.WriteRetry(func() error { return f.WriteAt(png, 0) })
+			})
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core/stagegraph"
+	"repro/internal/field"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/viz"
+)
+
+// specs.go expresses each pipeline as a declarative stagegraph.Spec
+// over the shared stage vocabulary of stages.go. The spec's Stages
+// list is the pipeline's dataflow graph (validated before execution);
+// its Program closes over the runner and emits stage executions to the
+// engine, which owns timing, annotation, and recovery uniformly.
+//
+// To define a new pipeline: pick (or add) stages in stages.go, list
+// them in dataflow order in a Spec, and write a Program that emits
+// them via Exec.Do — the engine supplies everything else.
+
+// spec returns pipeline p's declarative spec bound to this runner.
+func (r *runner) spec(p Pipeline) stagegraph.Spec {
+	switch p {
+	case PostProcessing:
+		return r.postSpec()
+	case InSitu:
+		return r.insituSpec()
+	default:
+		panic(fmt.Sprintf("core: unknown single-node pipeline %d", p))
+	}
+}
+
+// ckptRef tracks one checkpoint through the pipeline: its store name,
+// the output iteration it captured, and whether the write phase gave
+// up on it (so the read phase goes straight to re-simulation).
+type ckptRef struct {
+	name string
+	iter int
+	lost bool
+}
+
+// postSpec is the traditional pipeline: phase one simulates and writes
+// checkpoints (fsync each for durability); a sync + drop_caches
+// barrier separates the phases (§IV-C); phase two reads every
+// checkpoint back cold and visualizes it.
+//
+// Storage errors are recoverable, never fatal: writes and reads retry
+// under the engine's RetryPolicy, and a checkpoint storage cannot
+// produce intact is re-simulated from the initial conditions — the
+// solver is deterministic, so the recomputed field (and thus the
+// rendered frame) is identical to the lost one. Every recovery path is
+// charged to the virtual time and energy ledgers.
+func (r *runner) postSpec() stagegraph.Spec {
+	return stagegraph.Spec{
+		Name:   "post-processing",
+		Inputs: []string{"solver", "config"},
+		Stages: []stagegraph.Stage{
+			stgSimulate, stgWriteCkpt, stgBarrier,
+			stgReadCkpt, stgRecover, stgRenderRestored, stgFrameFlush,
+		},
+		Program: r.postProgram,
+	}
+}
+
+func (r *runner) postProgram(x *stagegraph.Exec) {
+	n, cfg, cs := r.n, r.cfg, r.cs
+	store := cfg.Store
+	if store == nil {
+		store = localStore{n: n, policy: cfg.CheckpointPolicy, async: cfg.AsyncCheckpoint, enc: &checkpoint.Encoder{}}
+	}
+	var ckpts []ckptRef
+	for i := 1; i <= cs.Iterations; i++ {
+		r.simulateIteration(x, stgSimulate)
+		if i%cs.IOInterval != 0 {
+			continue
+		}
+		c := ckptRef{name: fmt.Sprintf("ckpt-%04d", i), iter: i}
+		x.Do(stgWriteCkpt, func() {
+			c.lost = !x.WriteRetry(func() error {
+				return store.WriteCheckpoint(c.name, r.solver.Field(), r.solver.Steps(), r.solver.Time(), cfg.CheckpointPayload)
+			})
+		})
+		ckpts = append(ckpts, c)
+	}
+
+	// Phase barrier: sync and drop caches so reads hit the media.
+	x.Do(stgBarrier, func() { store.Barrier() })
+
+	for _, c := range ckpts {
+		var g *field.Grid
+		var step uint64
+		var simTime float64
+		ok := false
+		if !c.lost {
+			x.Do(stgReadCkpt, func() {
+				ok = x.ReadRetry(func() error {
+					var err error
+					g, step, simTime, err = store.ReadCheckpoint(c.name)
+					return err
+				})
+			})
+		}
+		if !ok {
+			// The checkpoint is gone (write gave up) or unreadable after
+			// the retry budget: recompute its field from the initial
+			// conditions.
+			x.Do(stgRecover, func() {
+				g, step, simTime = r.resimulate(c.iter)
+				x.Recovery().Resimulations++
+			})
+		}
+		x.Do(stgRenderRestored, func() {
+			png := r.renderFrame(g, step, simTime)
+			x.Do(stgFrameFlush, func() {
+				n.WithIO(func() { r.writeFrameFile(x, png) })
+			})
+		})
+	}
+	x.Do(stgBarrier, func() { n.WithIO(func() { n.FS.Sync() }) })
+}
+
+// insituStages names the stages one in-situ visualization event
+// executes, so the event body is shared verbatim between the in-situ
+// spec (stages bound to the single node) and the hybrid spec (the same
+// stages rebound to the cluster's simulation node).
+type insituStages struct {
+	render, variants, compress, flush stagegraph.Stage
+}
+
+func nodeInsituStages() insituStages {
+	return insituStages{
+		render:   stgRenderLive,
+		variants: stgRenderVariants,
+		compress: stgCompress,
+		flush:    stgFrameFlush,
+	}
+}
+
+// insituSpec is the coupled pipeline: each I/O event renders directly
+// from the live field and synchronously flushes the frame plus a
+// reduced data product so the scientist can monitor the run.
+func (r *runner) insituSpec() stagegraph.Spec {
+	return stagegraph.Spec{
+		Name:   "in-situ",
+		Inputs: []string{"solver", "config"},
+		Stages: []stagegraph.Stage{
+			stgSimulate, stgRenderLive, stgRenderVariants,
+			stgCompress, stgFrameFlush, stgBarrier,
+		},
+		Program: r.insituProgram,
+	}
+}
+
+func (r *runner) insituProgram(x *stagegraph.Exec) {
+	n, cs := r.n, r.cs
+	st := nodeInsituStages()
+	for i := 1; i <= cs.Iterations; i++ {
+		r.simulateIteration(x, stgSimulate)
+		if i%cs.IOInterval != 0 {
+			continue
+		}
+		r.insituVizEvent(x, st, i)
+	}
+	x.Do(stgBarrier, func() { n.WithIO(func() { n.FS.Sync() }) })
+}
+
+// insituVizEvent is one in-situ visualization event: render from the
+// live field, optional cinema variants and compression, then
+// synchronously flush the frame plus the reduced data product.
+func (r *runner) insituVizEvent(x *stagegraph.Exec, st insituStages, i int) {
+	n, cfg := r.n, r.cfg
+	x.Do(st.render, func() {
+		png := r.renderFrame(r.solver.Field(), r.solver.Steps(), r.solver.Time())
+		r.renderCinemaVariants(x, st.variants, i)
+		payload := cfg.InsituPayload
+		if cfg.CompressInsitu {
+			// Measure the real compression ratio on this event's
+			// field and charge the compression pass.
+			x.Do(st.compress, func() {
+				ratio, err := viz.CompressionRatio(r.solver.Field())
+				if err != nil {
+					panic(fmt.Sprintf("core: compression failed: %v", err))
+				}
+				if ratio > 1 {
+					payload = units.Bytes(float64(payload) / ratio)
+				}
+				n.Compress(cfg.InsituPayload)
+				r.res.CompressionRatio = ratio
+			})
+		}
+		x.Do(st.flush, func() {
+			n.WithIO(func() {
+				f := r.writeFrameFile(x, png)
+				reduced := n.FS.Create(fmt.Sprintf("reduced-%04d", i), storage.AllocContiguous)
+				x.WriteRetry(func() error { return reduced.AppendSparse(payload) })
+				if !cfg.InsituNoSync {
+					f.Fsync()
+					reduced.Fsync()
+				}
+			})
+		})
+	})
+}

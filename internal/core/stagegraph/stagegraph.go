@@ -1,0 +1,325 @@
+// Package stagegraph is the composable pipeline engine underneath
+// internal/core. A visualization pipeline is not a monolithic
+// function here but a declarative Spec: an ordered graph of
+// first-class Stage values — Simulate, Encode, WriteCheckpoint,
+// Barrier, ReadCheckpoint, Render, FrameFlush, NetTransfer, Recover —
+// each declaring the values it consumes and produces and the resource
+// (node, disk, link) it occupies. One Engine executes every spec and
+// owns the cross-cutting concerns uniformly: stage timing, trace
+// phase annotation, the per-stage time ledger, and the bounded
+// retry/backoff recovery policy with its recovery ledger.
+//
+// The design follows the task-graph workflow modeling of faithful
+// in-situ simulation frameworks (SIM-SITU, arXiv:2112.15067) and
+// exists so hybrid shapes — in-situ rendering with in-transit data
+// offload, à la Catalyst-ADIOS2 (arXiv:2406.18112) — compose from the
+// same stage vocabulary as the paper's two pipelines instead of
+// requiring a third monolith.
+package stagegraph
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Kind identifies a canonical stage in the pipeline vocabulary.
+type Kind string
+
+// The stage vocabulary every pipeline composes from.
+const (
+	Simulate        Kind = "Simulate"
+	Encode          Kind = "Encode"
+	WriteCheckpoint Kind = "WriteCheckpoint"
+	Barrier         Kind = "Barrier"
+	ReadCheckpoint  Kind = "ReadCheckpoint"
+	Render          Kind = "Render"
+	FrameFlush      Kind = "FrameFlush"
+	NetTransfer     Kind = "NetTransfer"
+	Recover         Kind = "Recover"
+)
+
+// ResourceKind classifies what a stage occupies while it runs.
+type ResourceKind int
+
+// The resource classes a Binding can name.
+const (
+	ResNode ResourceKind = iota // a node's CPU/DRAM operating point
+	ResDisk                     // a node's storage stack
+	ResLink                     // the cluster interconnect
+)
+
+func (k ResourceKind) String() string {
+	switch k {
+	case ResDisk:
+		return "disk"
+	case ResLink:
+		return "link"
+	default:
+		return "node"
+	}
+}
+
+// Binding names the resource a stage runs against: the kind of
+// resource and the logical instance ("node" for single-node runs,
+// "sim"/"staging" on a cluster, "link" for the interconnect).
+type Binding struct {
+	Kind ResourceKind
+	On   string
+}
+
+func (b Binding) String() string { return fmt.Sprintf("%s:%s", b.Kind, b.On) }
+
+// Stage is a first-class pipeline building block: its kind, the trace
+// phase the engine annotates its executions with ("" leaves the
+// execution untimed glue), the value names it consumes and produces
+// (checked by Spec.Validate), and the resource it occupies.
+//
+// A Stage carries no behaviour of its own — bodies are supplied per
+// execution via Exec.Do — so the same value can appear in every spec
+// that uses the stage, and a spec is data, inspectable before it runs.
+type Stage struct {
+	Kind    Kind
+	Phase   string
+	Uses    []string
+	Yields  []string
+	Binding Binding
+}
+
+// Spec is a declarative pipeline: a name, the external values the
+// caller provides (solver state, configuration), the dataflow-ordered
+// stage graph, and the program that emits stage executions to the
+// engine. Stages lists each distinct stage once, in an order
+// consistent with its dataflow; Program may execute them any number
+// of times (iterations, conditional recovery) but only stages listed
+// in Stages.
+type Spec struct {
+	Name    string
+	Inputs  []string
+	Stages  []Stage
+	Program func(*Exec)
+}
+
+// Validate checks the declared dataflow: every value a stage Uses
+// must be a spec Input or Yielded by an earlier stage in Stages. This
+// is the graph well-formedness check — it catches specs wired to
+// consume values nothing produces before anything executes.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("stagegraph: spec needs a name")
+	}
+	if len(s.Stages) == 0 {
+		return fmt.Errorf("stagegraph: spec %q has no stages", s.Name)
+	}
+	if s.Program == nil {
+		return fmt.Errorf("stagegraph: spec %q has no program", s.Name)
+	}
+	avail := map[string]bool{}
+	for _, in := range s.Inputs {
+		avail[in] = true
+	}
+	for i, st := range s.Stages {
+		for _, u := range st.Uses {
+			if !avail[u] {
+				return fmt.Errorf("stagegraph: spec %q stage %d (%s) uses %q, which no earlier stage yields and no input provides",
+					s.Name, i, st.Kind, u)
+			}
+		}
+		for _, y := range st.Yields {
+			avail[y] = true
+		}
+	}
+	return nil
+}
+
+// stageByKindPhase reports whether the spec declares st (same kind and
+// phase), so Exec.Do can reject executions of undeclared stages.
+func (s Spec) declares(st Stage) bool {
+	for _, d := range s.Stages {
+		if d.Kind == st.Kind && d.Phase == st.Phase && d.Binding == st.Binding {
+			return true
+		}
+	}
+	return false
+}
+
+// RetryPolicy bounds how a run responds to recoverable storage errors:
+// up to MaxAttempts tries per operation, with an exponential
+// simulated-time backoff starting at Backoff between attempts, all
+// charged to the run's time and energy ledgers. The zero value means
+// 3 attempts with a 0.5 s initial backoff.
+type RetryPolicy struct {
+	MaxAttempts int
+	Backoff     units.Seconds
+}
+
+// WithDefaults fills the zero value's defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 0.5
+	}
+	return p
+}
+
+// RecoveryStats accounts the fault handling one run performed.
+type RecoveryStats struct {
+	// WriteRetries / ReadRetries count repeated attempts after a
+	// transient failure (the initial attempt is not counted).
+	WriteRetries, ReadRetries uint64
+	// LostWrites counts writes abandoned after the retry budget: a lost
+	// checkpoint is recovered later by re-simulation; a lost frame or
+	// reduced data product is simply absent from disk.
+	LostWrites uint64
+	// Resimulations counts checkpoints recomputed from initial
+	// conditions because storage could not produce an intact copy.
+	Resimulations uint64
+	// BackoffTime is the simulated time spent waiting between retries.
+	BackoffTime units.Seconds
+}
+
+// Total returns the number of recovery actions taken.
+func (s RecoveryStats) Total() uint64 {
+	return s.WriteRetries + s.ReadRetries + s.LostWrites + s.Resimulations
+}
+
+// Clock is the virtual clock the engine times stages against, plus
+// the idle primitive backoff charges its waits to.
+type Clock interface {
+	Now() units.Seconds
+	Idle(units.Seconds)
+}
+
+// Ledger receives what the engine accounts per run: the optional
+// trace profile stage executions annotate, the accumulated per-phase
+// time, and the recovery counters.
+type Ledger struct {
+	// Profile, when non-nil, gets one MarkPhase interval per annotated
+	// stage execution (unannotated runs — e.g. uninstrumented cluster
+	// runs — leave it nil).
+	Profile *trace.Profile
+	// StageTime accumulates execution time per phase name.
+	StageTime map[string]units.Seconds
+	// Recovery accounts the retries, losses, and backoff the engine's
+	// recovery policy performed.
+	Recovery RecoveryStats
+}
+
+// NewLedger returns a ledger accumulating into the given profile
+// (which may be nil).
+func NewLedger(profile *trace.Profile) *Ledger {
+	return &Ledger{Profile: profile, StageTime: map[string]units.Seconds{}}
+}
+
+// Engine executes pipeline specs on one virtual clock. It owns every
+// cross-cutting concern the monolithic pipelines used to hand-roll:
+// stage timing and trace-phase annotation (Do), and the bounded
+// retry/backoff recovery policy with its ledger (WriteRetry,
+// ReadRetry).
+type Engine struct {
+	Clock  Clock
+	Ledger *Ledger
+	Retry  RetryPolicy
+
+	spec *Spec
+}
+
+// New builds an engine. The retry policy is defaulted.
+func New(clock Clock, ledger *Ledger, retry RetryPolicy) *Engine {
+	if clock == nil || ledger == nil {
+		panic("stagegraph: engine needs a clock and a ledger")
+	}
+	return &Engine{Clock: clock, Ledger: ledger, Retry: retry.WithDefaults()}
+}
+
+// Run validates the spec and executes its program. The program emits
+// stage executions through the Exec it receives.
+func (e *Engine) Run(s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	e.spec = &s
+	defer func() { e.spec = nil }()
+	s.Program(&Exec{eng: e})
+	return nil
+}
+
+// Exec is the execution context a spec's program runs under: it emits
+// stage executions and reaches the engine's recovery policy.
+type Exec struct {
+	eng *Engine
+}
+
+// Do executes one instance of stage st: body runs on the virtual
+// clock, and the engine annotates the interval with the stage's phase
+// and accumulates it into the per-stage time ledger. Executing a
+// stage the current spec does not declare panics — the declared graph
+// is the contract.
+func (x *Exec) Do(st Stage, body func()) {
+	e := x.eng
+	if e.spec != nil && !e.spec.declares(st) {
+		panic(fmt.Sprintf("stagegraph: spec %q executed undeclared stage %s/%s (%s)",
+			e.spec.Name, st.Kind, st.Phase, st.Binding))
+	}
+	if st.Phase == "" {
+		body()
+		return
+	}
+	start := e.Clock.Now()
+	body()
+	end := e.Clock.Now()
+	if e.Ledger.Profile != nil {
+		e.Ledger.Profile.MarkPhase(st.Phase, start, end)
+	}
+	e.Ledger.StageTime[st.Phase] += end - start
+}
+
+// backoff charges the exponential simulated-time wait before retry
+// attempt number attempt (1-based): Backoff, 2*Backoff, 4*Backoff...
+// The clock sits idle — the time and its static energy land on the
+// run's ledgers like any other stall.
+func (x *Exec) backoff(attempt int) {
+	e := x.eng
+	d := e.Retry.Backoff * units.Seconds(int64(1)<<uint(attempt-1))
+	e.Clock.Idle(d)
+	e.Ledger.Recovery.BackoffTime += d
+}
+
+// WriteRetry runs write under the retry budget and reports whether it
+// ever succeeded; a final failure counts as a lost write.
+func (x *Exec) WriteRetry(write func() error) bool {
+	e := x.eng
+	err := write()
+	for attempt := 1; err != nil && attempt < e.Retry.MaxAttempts; attempt++ {
+		x.backoff(attempt)
+		e.Ledger.Recovery.WriteRetries++
+		err = write()
+	}
+	if err != nil {
+		e.Ledger.Recovery.LostWrites++
+		return false
+	}
+	return true
+}
+
+// ReadRetry runs read under the retry budget and reports whether it
+// ever succeeded. Both transient errors and corruption (a tripped CRC)
+// are retried: bit-rot hits the delivered copy, not the media, so a
+// re-read can come back intact.
+func (x *Exec) ReadRetry(read func() error) bool {
+	e := x.eng
+	err := read()
+	for attempt := 1; err != nil && attempt < e.Retry.MaxAttempts; attempt++ {
+		x.backoff(attempt)
+		e.Ledger.Recovery.ReadRetries++
+		err = read()
+	}
+	return err == nil
+}
+
+// Recovery exposes the engine's recovery ledger to stage bodies that
+// record recoveries themselves (e.g. a re-simulation stage).
+func (x *Exec) Recovery() *RecoveryStats { return &x.eng.Ledger.Recovery }

@@ -1,0 +1,192 @@
+package stagegraph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// fakeClock advances only when a body or a backoff asks it to.
+type fakeClock struct {
+	now  units.Seconds
+	idle units.Seconds
+}
+
+func (c *fakeClock) Now() units.Seconds { return c.now }
+func (c *fakeClock) Idle(d units.Seconds) {
+	c.now += d
+	c.idle += d
+}
+
+var (
+	stSim = Stage{Kind: Simulate, Phase: "simulation", Yields: []string{"field"},
+		Binding: Binding{Kind: ResNode, On: "node"}}
+	stWrite = Stage{Kind: WriteCheckpoint, Phase: "nnwrite", Uses: []string{"field"},
+		Yields: []string{"checkpoint"}, Binding: Binding{Kind: ResDisk, On: "node"}}
+	stRead = Stage{Kind: ReadCheckpoint, Phase: "nnread", Uses: []string{"checkpoint"},
+		Yields: []string{"restored"}, Binding: Binding{Kind: ResDisk, On: "node"}}
+)
+
+func testSpec(program func(*Exec)) Spec {
+	return Spec{
+		Name:    "test",
+		Stages:  []Stage{stSim, stWrite, stRead},
+		Program: program,
+	}
+}
+
+func TestValidateCatchesUnproducedInput(t *testing.T) {
+	s := Spec{
+		Name:    "broken",
+		Stages:  []Stage{stWrite}, // uses "field" with no producer
+		Program: func(*Exec) {},
+	}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), `"field"`) {
+		t.Fatalf("Validate() = %v, want unproduced-input error naming field", err)
+	}
+	// Declaring it as an external input fixes the graph.
+	s.Inputs = []string{"field"}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate() with input = %v, want nil", err)
+	}
+}
+
+func TestValidateRejectsEmptySpecs(t *testing.T) {
+	for _, s := range []Spec{
+		{},
+		{Name: "x"},
+		{Name: "x", Stages: []Stage{stSim}},
+	} {
+		if s.Validate() == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+}
+
+func TestEngineTimesAndAnnotatesStages(t *testing.T) {
+	clock := &fakeClock{}
+	prof := trace.NewProfile("test")
+	eng := New(clock, NewLedger(prof), RetryPolicy{})
+
+	err := eng.Run(testSpec(func(x *Exec) {
+		for i := 0; i < 3; i++ {
+			x.Do(stSim, func() { clock.now += 2 })
+			x.Do(stWrite, func() { clock.now += 1 })
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Ledger.StageTime["simulation"]; got != 6 {
+		t.Errorf("simulation stage time = %v, want 6", got)
+	}
+	if got := eng.Ledger.StageTime["nnwrite"]; got != 3 {
+		t.Errorf("nnwrite stage time = %v, want 3", got)
+	}
+	if got := prof.PhaseTime("simulation"); got != 6 {
+		t.Errorf("annotated simulation phase time = %v, want 6", got)
+	}
+	if names := prof.PhaseNames(); len(names) != 2 {
+		t.Errorf("phase names = %v, want simulation + nnwrite", names)
+	}
+}
+
+func TestEngineToleratesNilProfile(t *testing.T) {
+	clock := &fakeClock{}
+	eng := New(clock, NewLedger(nil), RetryPolicy{})
+	err := eng.Run(testSpec(func(x *Exec) {
+		x.Do(stSim, func() { clock.now += 5 })
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Ledger.StageTime["simulation"]; got != 5 {
+		t.Errorf("stage time = %v, want 5 (uninstrumented runs still keep the ledger)", got)
+	}
+}
+
+func TestEngineRejectsUndeclaredStage(t *testing.T) {
+	clock := &fakeClock{}
+	eng := New(clock, NewLedger(nil), RetryPolicy{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("executing an undeclared stage did not panic")
+		}
+	}()
+	eng.Run(testSpec(func(x *Exec) { //nolint:errcheck // panics first
+		x.Do(Stage{Kind: Render, Phase: "visualization"}, func() {})
+	}))
+}
+
+func TestWriteRetrySucceedsWithinBudget(t *testing.T) {
+	clock := &fakeClock{}
+	eng := New(clock, NewLedger(nil), RetryPolicy{MaxAttempts: 3, Backoff: 0.5})
+	failures := 2
+	var ok bool
+	eng.Run(testSpec(func(x *Exec) { //nolint:errcheck // spec is valid
+		ok = x.WriteRetry(func() error {
+			if failures > 0 {
+				failures--
+				return errors.New("transient")
+			}
+			return nil
+		})
+	}))
+	if !ok {
+		t.Fatal("write failed despite budget covering the failures")
+	}
+	rec := eng.Ledger.Recovery
+	if rec.WriteRetries != 2 || rec.LostWrites != 0 {
+		t.Errorf("recovery = %+v, want 2 retries, 0 lost", rec)
+	}
+	// Exponential backoff: 0.5 + 1.0 seconds of charged idle time.
+	if clock.idle != 1.5 || rec.BackoffTime != 1.5 {
+		t.Errorf("backoff charged %v (ledger %v), want 1.5", clock.idle, rec.BackoffTime)
+	}
+}
+
+func TestWriteRetryExhaustionCountsLostWrite(t *testing.T) {
+	eng := New(&fakeClock{}, NewLedger(nil), RetryPolicy{MaxAttempts: 3, Backoff: 0.5})
+	var ok bool
+	eng.Run(testSpec(func(x *Exec) { //nolint:errcheck // spec is valid
+		ok = x.WriteRetry(func() error { return errors.New("permanent") })
+	}))
+	if ok {
+		t.Fatal("write reported success despite permanent failure")
+	}
+	rec := eng.Ledger.Recovery
+	if rec.WriteRetries != 2 || rec.LostWrites != 1 {
+		t.Errorf("recovery = %+v, want 2 retries then 1 lost write", rec)
+	}
+	if rec.Total() != 3 {
+		t.Errorf("Total() = %d, want 3", rec.Total())
+	}
+}
+
+func TestReadRetryNeverCountsLostWrites(t *testing.T) {
+	eng := New(&fakeClock{}, NewLedger(nil), RetryPolicy{MaxAttempts: 2, Backoff: 0.25})
+	eng.Run(testSpec(func(x *Exec) { //nolint:errcheck // spec is valid
+		if x.ReadRetry(func() error { return errors.New("corrupt") }) {
+			t.Error("read reported success despite permanent corruption")
+		}
+	}))
+	rec := eng.Ledger.Recovery
+	if rec.ReadRetries != 1 || rec.LostWrites != 0 {
+		t.Errorf("recovery = %+v, want 1 read retry and no lost writes", rec)
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.WithDefaults()
+	if p.MaxAttempts != 3 || p.Backoff != 0.5 {
+		t.Errorf("defaults = %+v, want 3 attempts / 0.5 s", p)
+	}
+	q := RetryPolicy{MaxAttempts: 7, Backoff: 2}.WithDefaults()
+	if q.MaxAttempts != 7 || q.Backoff != 2 {
+		t.Errorf("explicit policy clobbered: %+v", q)
+	}
+}

@@ -30,8 +30,8 @@ func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
 			t.Errorf("ByID(%q) = %v, %v", e.ID, got.ID, err)
 		}
 	}
-	if len(seen) != 23 {
-		t.Errorf("registry has %d experiments, want 23", len(seen))
+	if len(seen) != 24 {
+		t.Errorf("registry has %d experiments, want 24", len(seen))
 	}
 }
 

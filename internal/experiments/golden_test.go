@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// -update regenerates the golden digests instead of checking them:
+//
+//	go test ./internal/experiments -run TestGoldenOutputs -update
+//
+// Review the resulting testdata/golden diff before committing: a
+// changed digest means the experiment's stdout changed.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden digests from the current code")
+
+// goldenSuite mirrors the CLI defaults (`greenviz -experiment all
+// -seed 1`): seed 1, 16 real sub-steps, 4 GiB fio files. The digests
+// therefore certify the exact bytes a default CLI run prints.
+func goldenSuite() *Suite {
+	cfg := core.DefaultAppConfig()
+	cfg.RealSubsteps = 16
+	return NewSuite(1, &cfg)
+}
+
+// goldenBlock is the exact stdout block the CLI prints per experiment.
+func goldenBlock(r Report) string {
+	return fmt.Sprintf("== %s ==\n%s\n%s\n", r.ID, r.Title, r.Body)
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".sha256")
+}
+
+// TestGoldenOutputs runs every registered experiment and verifies its
+// stdout block against the committed per-experiment SHA-256 digest.
+// This is the regression harness that lets refactors (like the
+// stage-graph engine) prove byte-identical output mechanically: any
+// drift in any report body fails here, naming the experiment.
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry at CLI fidelity")
+	}
+	if raceEnabled {
+		t.Skip("full registry passes are infeasible under race instrumentation")
+	}
+
+	reports, err := goldenSuite().RunAll(context.Background(), runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reports {
+			sum := sha256.Sum256([]byte(goldenBlock(r.Report)))
+			line := fmt.Sprintf("%x  %s\n", sum, r.ID)
+			if err := os.WriteFile(goldenPath(r.ID), []byte(line), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d golden digests", len(reports))
+		return
+	}
+
+	for _, r := range reports {
+		want, err := os.ReadFile(goldenPath(r.ID))
+		if err != nil {
+			t.Errorf("experiment %q has no golden digest (new experiment? run with -update): %v", r.ID, err)
+			continue
+		}
+		wantSum, _, ok := strings.Cut(strings.TrimSpace(string(want)), "  ")
+		if !ok {
+			t.Errorf("experiment %q: malformed golden file %q", r.ID, want)
+			continue
+		}
+		got := fmt.Sprintf("%x", sha256.Sum256([]byte(goldenBlock(r.Report))))
+		if got != wantSum {
+			t.Errorf("experiment %q: stdout diverged from golden digest\n  got  %s\n  want %s\n(run with -update and inspect the report diff if the change is intentional)",
+				r.ID, got, wantSum)
+		}
+	}
+}
+
+// TestGoldenCoversRegistry fails when an experiment is registered
+// without a committed digest, or a digest is orphaned — so adding an
+// experiment forces a golden update and removals don't leave stale
+// files behind.
+func TestGoldenCoversRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		ids[e.ID] = true
+		if _, err := os.Stat(goldenPath(e.ID)); err != nil {
+			t.Errorf("experiment %q: missing golden digest %s (run TestGoldenOutputs with -update)", e.ID, goldenPath(e.ID))
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("golden dir: %v", err)
+	}
+	for _, e := range entries {
+		id := strings.TrimSuffix(e.Name(), ".sha256")
+		if !ids[id] {
+			t.Errorf("orphaned golden digest %s: no experiment %q registered", e.Name(), id)
+		}
+	}
+}

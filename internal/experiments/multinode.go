@@ -24,7 +24,7 @@ func (s *Suite) InTransit() Report {
 	rows := [][]string{
 		{"post-processing (1 node)", secs(post.ExecTime), kjoule(post.Energy), kjoule(post.Energy)},
 		{"in-situ (1 node)", secs(ins.ExecTime), kjoule(ins.Energy), kjoule(ins.Energy)},
-		{"in-transit (sim node)", secs(it.ExecTime), kjoule(it.SimEnergy), kjoule(it.TotalEnergy)},
+		{"in-transit (sim node)", secs(it.ExecTime), kjoule(it.SimEnergy), kjoule(it.Energy)},
 	}
 	fmt.Fprintf(&b, "%s\n", table(
 		[]string{"Pipeline", "Makespan", "Energy (sim node)", "Energy (cluster)"}, rows))

@@ -157,6 +157,7 @@ func Registry() []Experiment {
 		{"table3", "fio sequential/random tests (Table III)", (*Suite).Table3},
 		{"hypothetical", "Data-reorganization hypothetical (Sec. V-D)", (*Suite).Hypothetical},
 		{"intransit", "Multi-node in-transit pipeline (Future Work)", (*Suite).InTransit},
+		{"hybrid", "Hybrid in-situ + in-transit checkpoint offload (ours)", (*Suite).Hybrid},
 		{"devices", "Device sweep: HDD/RAID/NVRAM/SSD (Future Work)", (*Suite).Devices},
 		{"optimized", "Alternative post-processing optimizations (Conclusion)", (*Suite).Optimized},
 		{"sampling", "In-situ data sampling: energy vs quality (refs 21, 25)", (*Suite).Sampling},
