@@ -9,11 +9,14 @@ test:
 	$(GO) test ./...
 
 # check is the full pre-merge gate: formatting, vet, build (library,
-# CLI, and examples), the test suite under the race detector, the
-# golden-output regression suite (runs without race — the full
-# experiment suite is infeasible under the detector, so it is skipped
-# there and must run here explicitly), and a short fuzz pass over the
-# checkpoint decoder (seeds plus 10s of mutation).
+# CLI, daemon, and examples), the test suite under the race detector
+# (including the greenvizd API tests), the daemon smoke test (builds
+# the real binary, submits fig4 over HTTP, and diffs the served report
+# against the committed golden digest), the golden-output regression
+# suite (runs without race — the full experiment suite is infeasible
+# under the detector, so it is skipped there and must run here
+# explicitly), and a short fuzz pass over the checkpoint decoder
+# (seeds plus 10s of mutation).
 check:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
@@ -21,6 +24,7 @@ check:
 	$(GO) build ./...
 	$(GO) build ./examples/...
 	$(GO) test -race -timeout 45m ./...
+	$(GO) test -run '^TestDaemonSmoke$$' -timeout 10m ./cmd/greenvizd
 	$(GO) test -run '^TestGolden' -timeout 30m ./internal/experiments
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePrefix$$' -fuzztime 10s ./internal/checkpoint
 
@@ -32,9 +36,9 @@ golden:
 golden-update:
 	$(GO) test -run '^TestGolden' -timeout 30m -update ./internal/experiments
 
-# bench records the benchmark set into BENCH_pr2.json.
+# bench records the benchmark set into BENCH_pr4.json.
 bench:
 	scripts/bench.sh
 
 clean:
-	rm -f greenviz BENCH_pr1.json BENCH_pr2.json
+	rm -f greenviz greenvizd BENCH_pr1.json BENCH_pr2.json BENCH_pr4.json

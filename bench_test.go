@@ -220,8 +220,8 @@ func benchSuiteAll(b *testing.B, workers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(reports) != 23 {
-			b.Fatalf("got %d reports, want 23", len(reports))
+		if want := len(Experiments()); len(reports) != want {
+			b.Fatalf("got %d reports, want %d", len(reports), want)
 		}
 	}
 }

@@ -14,8 +14,11 @@
 // -experiment all the drivers run on -workers goroutines (default
 // GOMAXPROCS); reports still print in registry order and are
 // byte-identical at any worker count, with per-experiment wall times
-// reported on stderr. -csv additionally dumps the power profiles of
-// the case-study runs as CSV for external plotting.
+// streamed to stderr as drivers finish (-quiet suppresses them). -csv
+// additionally dumps the power profiles of the case-study runs as CSV
+// for external plotting. In pipeline mode, -format json emits the
+// canonical RunResult encoding — the same bytes the greenvizd service
+// serves for an identical job.
 package main
 
 import (
@@ -45,10 +48,12 @@ func main() {
 		faults       = flag.String("faults", "", "inject storage faults: comma-separated bitrot=,readerr=,writeerr=,latency=,drop= (probabilities), spike=,timeout= (seconds), seed= — empty disables injection (byte-identical output)")
 
 		pipeline  = flag.String("pipeline", "", "run one pipeline instead of an experiment: "+strings.Join(pipelineFlags(), ", "))
-		app       = flag.String("app", "heat", "proxy application: heat, ocean")
-		device    = flag.String("device", "hdd", "storage device: hdd, ssd, raid4, nvram")
+		app       = flag.String("app", "heat", "proxy application: "+strings.Join(greenviz.AppFlags(), ", "))
+		device    = flag.String("device", "hdd", "storage device: "+strings.Join(greenviz.DeviceFlags(), ", "))
 		caseIdx   = flag.Int("case", 1, "case study number (1..3)")
 		framesDir = flag.String("frames", "", "directory to dump rendered PNG frames (pipeline mode)")
+		format    = flag.String("format", "text", "pipeline-mode output format: text, json (the service's report encoding)")
+		quiet     = flag.Bool("quiet", false, "suppress the per-experiment wall-time progress on stderr")
 	)
 	// Usage lists the experiment registry and pipeline names, derived
 	// from the registries themselves so new entries appear automatically.
@@ -69,7 +74,7 @@ func main() {
 	}
 
 	if *pipeline != "" {
-		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *framesDir, faultCfg); err != nil {
+		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *framesDir, *format, faultCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
 			os.Exit(1)
 		}
@@ -100,6 +105,12 @@ func main() {
 	cfg.Faults = faultCfg
 	suite := greenviz.NewSuite(*seed, &cfg)
 	suite.Fio.FileSize = units.Bytes(*fioGiB) * units.GiB
+	// The suite itself is quiet by default (library and daemon embeds
+	// stay silent); the CLI opts into live wall-time lines on stderr
+	// unless -quiet. Stdout stays byte-identical either way.
+	if !*quiet {
+		suite.Log = os.Stderr
+	}
 
 	if *expID == "all" {
 		start := time.Now()
@@ -108,23 +119,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
 			os.Exit(1)
 		}
-		// Reports to stdout in registry order; the timing footer goes to
-		// stderr so stdout stays byte-identical at any -workers value.
+		// Reports to stdout in registry order; progress and the timing
+		// footer go to stderr so stdout stays byte-identical at any
+		// -workers value.
 		for _, r := range reports {
-			fmt.Printf("== %s ==\n%s\n%s\n", r.ID, r.Title, r.Body)
+			fmt.Print(r.Block())
 		}
-		fmt.Fprintf(os.Stderr, "-- wall time per experiment (workers=%d) --\n", *workers)
-		for _, r := range reports {
-			fmt.Fprintf(os.Stderr, "  %-12s %8.2fs\n", r.ID, r.Wall.Seconds())
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%-12s %8.2fs (workers=%d)\n", "total", time.Since(start).Seconds(), *workers)
 		}
-		fmt.Fprintf(os.Stderr, "  %-12s %8.2fs\n", "total", time.Since(start).Seconds())
 	} else {
 		r, err := greenviz.RunExperiment(suite, *expID)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s ==\n%s\n%s\n", r.ID, r.Title, r.Body)
+		fmt.Print(r.Block())
 	}
 
 	if *csvDir != "" {

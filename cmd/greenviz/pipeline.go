@@ -9,25 +9,15 @@ import (
 )
 
 // runPipeline executes one explicit pipeline configuration (the CLI's
-// -pipeline mode) and prints its measurements.
-func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSubsteps int, framesDir string, faults *greenviz.FaultConfig) error {
-	var platform greenviz.Platform
-	switch device {
-	case "hdd", "":
-		platform = greenviz.SandyBridge()
-	case "ssd":
-		platform = greenviz.SandyBridgeSSD()
-	case "raid4":
-		platform = greenviz.SandyBridge()
-		platform.RAIDMembers = 4
-		platform.RAIDStripe = 256 * greenviz.KiB
-	case "nvram":
-		p := greenviz.SandyBridge()
-		nv := greenviz.DefaultNVRAM()
-		p.NVRAM = &nv
-		platform = p
-	default:
-		return fmt.Errorf("unknown device %q (hdd, ssd, raid4, nvram)", device)
+// -pipeline mode) and prints its measurements: human-readable text by
+// default, or (-format json) the canonical RunResult encoding — the
+// same bytes the greenvizd service serves as a pipeline job's report.
+func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSubsteps int, framesDir, format string, faults *greenviz.FaultConfig) error {
+	// Device and app names resolve through the same presets the service
+	// uses, so CLI and API runs of equal configurations are identical.
+	platform, err := greenviz.PlatformByFlag(device)
+	if err != nil {
+		return err
 	}
 
 	cfg := greenviz.DefaultConfig()
@@ -39,16 +29,8 @@ func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSub
 	}
 	cfg.RetainFrames = framesDir != ""
 	cfg.Faults = faults
-	switch app {
-	case "heat", "":
-	case "ocean":
-		cfg.NewSimulator = func() greenviz.Simulator {
-			return greenviz.NewOceanSolver(greenviz.DefaultOceanParams())
-		}
-		cfg.Render.Colormap = greenviz.CoolWarmColormap()
-		cfg.Render.Isolines = []float64{0}
-	default:
-		return fmt.Errorf("unknown app %q (heat, ocean)", app)
+	if err := greenviz.ConfigureApp(&cfg, app); err != nil {
+		return err
 	}
 
 	cases := greenviz.CaseStudies()
@@ -64,19 +46,28 @@ func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSub
 	if err != nil {
 		return err
 	}
+	var r *greenviz.Result
 	if p.Clustered() {
-		r := greenviz.RunOnCluster(greenviz.NewCluster(platform, greenviz.TenGigE(), seed), p, cs, cfg)
-		fmt.Printf("pipeline: %s (%s, %s, device %s)\n", r.Pipeline, cs.Name, appName(app), device)
-		fmt.Printf("  makespan        %10.1f s\n", float64(r.ExecTime))
-		fmt.Printf("  sim-node energy %12s\n", r.SimEnergy)
-		fmt.Printf("  staging energy  %12s\n", r.StagingEnergy)
-		fmt.Printf("  cluster energy  %12s\n", r.Energy)
-		fmt.Printf("  network moved   %12s in %d transfers\n", r.BytesSent, r.Frames)
-		printStageTimes(r)
-		return nil
+		r = greenviz.RunOnCluster(greenviz.NewCluster(platform, greenviz.TenGigE(), seed), p, cs, cfg)
+	} else {
+		r = greenviz.Run(greenviz.NewNode(platform, seed), p, cs, cfg)
 	}
-	printRun(greenviz.Run(greenviz.NewNode(platform, seed), p, cs, cfg), framesDir)
-	return nil
+
+	switch format {
+	case "", "text":
+		if p.Clustered() {
+			printClusterRun(r, cs, app, device)
+		} else {
+			printRun(r)
+		}
+	case "json":
+		if err := r.EncodeJSON(os.Stdout); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (text, json)", format)
+	}
+	return dumpFrames(r, framesDir)
 }
 
 // printStageTimes reports per-stage times in the canonical order; the
@@ -96,8 +87,26 @@ func appName(app string) string {
 	return app
 }
 
-// printRun reports a single-node run and optionally dumps its frames.
-func printRun(r *greenviz.Result, framesDir string) {
+// printClusterRun reports a clustered (in-transit or hybrid) run.
+func printClusterRun(r *greenviz.Result, cs greenviz.CaseStudy, app, device string) {
+	fmt.Printf("pipeline: %s (%s, %s, device %s)\n", r.Pipeline, cs.Name, appName(app), deviceName(device))
+	fmt.Printf("  makespan        %10.1f s\n", float64(r.ExecTime))
+	fmt.Printf("  sim-node energy %12s\n", r.SimEnergy)
+	fmt.Printf("  staging energy  %12s\n", r.StagingEnergy)
+	fmt.Printf("  cluster energy  %12s\n", r.Energy)
+	fmt.Printf("  network moved   %12s in %d transfers\n", r.BytesSent, r.Frames)
+	printStageTimes(r)
+}
+
+func deviceName(device string) string {
+	if device == "" {
+		return "hdd"
+	}
+	return device
+}
+
+// printRun reports a single-node run.
+func printRun(r *greenviz.Result) {
 	fmt.Printf("pipeline: %s (%s)\n", r.Pipeline, r.Case.Name)
 	fmt.Printf("  execution time  %10.1f s\n", float64(r.ExecTime))
 	fmt.Printf("  average power   %12s\n", r.AvgPower)
@@ -113,18 +122,22 @@ func printRun(r *greenviz.Result, framesDir string) {
 			r.Recovery.WriteRetries+r.Recovery.ReadRetries, r.Recovery.Resimulations,
 			r.Recovery.LostWrites, float64(r.Recovery.BackoffTime))
 	}
-	if framesDir != "" {
-		if err := os.MkdirAll(framesDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
-			return
-		}
-		for i, png := range r.FramePNGs {
-			name := filepath.Join(framesDir, fmt.Sprintf("frame-%04d.png", i))
-			if err := os.WriteFile(name, png, 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
-				return
-			}
-		}
-		fmt.Printf("  wrote %d frames to %s\n", len(r.FramePNGs), framesDir)
+}
+
+// dumpFrames writes a run's retained frames to dir, if requested.
+func dumpFrames(r *greenviz.Result, framesDir string) error {
+	if framesDir == "" {
+		return nil
 	}
+	if err := os.MkdirAll(framesDir, 0o755); err != nil {
+		return err
+	}
+	for i, png := range r.FramePNGs {
+		name := filepath.Join(framesDir, fmt.Sprintf("frame-%04d.png", i))
+		if err := os.WriteFile(name, png, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d frames to %s\n", len(r.FramePNGs), framesDir)
+	return nil
 }

@@ -1,0 +1,93 @@
+// Command greenvizd serves the greenviz experiment suite as a
+// long-running service: submit jobs over HTTP, watch per-stage
+// progress live over SSE, and fetch deterministic report bytes.
+// Identical jobs are content-addressed and deduplicated — N concurrent
+// submits of the same spec cost one underlying run.
+//
+// Usage:
+//
+//	greenvizd -addr 127.0.0.1:8866
+//	curl -s localhost:8866/v1/experiments
+//	curl -s -XPOST localhost:8866/v1/jobs -d '{"experiment":"fig4"}'
+//	curl -N localhost:8866/v1/jobs/job-000001/events
+//	curl -s localhost:8866/v1/jobs/job-000001/report
+//
+// On SIGINT/SIGTERM the daemon drains: new submits are rejected with
+// 503 while queued and running jobs finish (bounded by -drain-timeout,
+// after which stragglers are canceled at their next stage boundary),
+// then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8866", "listen address (use :0 for an ephemeral port)")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job executions")
+		queueDepth   = flag.Int("queue", 64, "submit queue depth; a full queue rejects with 429")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "graceful-shutdown bound; running jobs canceled after this")
+		portFile     = flag.String("portfile", "", "write the bound listen address to this file (for scripts starting on :0)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queueDepth, *drainTimeout, *portFile); err != nil {
+		fmt.Fprintf(os.Stderr, "greenvizd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queueDepth int, drainTimeout time.Duration, portFile string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("portfile: %w", err)
+		}
+	}
+
+	m := service.NewManager(service.Options{Workers: workers, QueueDepth: queueDepth})
+	srv := &http.Server{Handler: service.Handler(m)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "greenvizd: listening on %s (workers=%d queue=%d)\n", ln.Addr(), workers, queueDepth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "greenvizd: %v, draining (timeout %s)\n", s, drainTimeout)
+	case err := <-serveErr:
+		return err
+	}
+
+	// Drain the manager first — submits now bounce with 503 while the
+	// API keeps answering status/report/event requests for the jobs
+	// being drained — then stop the HTTP server.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "greenvizd: drain timeout, canceled remaining jobs: %v\n", err)
+	}
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		srv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "greenvizd: drained, bye")
+	return nil
+}

@@ -90,6 +90,24 @@ func PipelineByFlag(name string) (Pipeline, error) { return core.PipelineByFlag(
 // phases appearing in Result.StageTime.
 func StageNames() []string { return core.StageNames() }
 
+// DeviceFlags lists the storage-device short names PlatformByFlag
+// resolves, in menu order.
+func DeviceFlags() []string { return core.DeviceFlags() }
+
+// PlatformByFlag resolves a device short name ("hdd", "ssd", "raid4",
+// "nvram"; empty selects the default HDD) to the paper's platform with
+// that storage stack. The CLI and the greenvizd service share this
+// resolution, so equal names mean equal machines everywhere.
+func PlatformByFlag(device string) (Platform, error) { return core.PlatformByFlag(device) }
+
+// AppFlags lists the proxy-application short names ConfigureApp
+// accepts, in menu order.
+func AppFlags() []string { return core.AppFlags() }
+
+// ConfigureApp wires the named proxy application ("heat", "ocean";
+// empty keeps heat) into a config.
+func ConfigureApp(cfg *Config, app string) error { return core.ConfigureApp(cfg, app) }
+
 // CaseStudy is one application configuration (I/O every k iterations).
 type CaseStudy = core.CaseStudy
 

@@ -144,9 +144,9 @@ func newSimulator(cfg AppConfig) Simulator {
 // CaseStudy is one application configuration of §IV-C: fifty timesteps
 // with I/O + visualization every IOInterval iterations.
 type CaseStudy struct {
-	Name       string
-	Iterations int
-	IOInterval int
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	IOInterval int    `json:"io_interval"`
 }
 
 // CaseStudies returns the paper's three configurations: I/O every
@@ -223,6 +223,12 @@ type AppConfig struct {
 	// Retry bounds the recovery from injected (or real) transient
 	// storage errors; the zero value gets sensible defaults.
 	Retry RetryPolicy
+	// Observer, when set, receives the stage-graph engine's progress
+	// callbacks for every run under this config (the service daemon
+	// streams them as per-stage job events). Nil — the default — is
+	// zero-cost and side-effect-free; like NewSimulator and Store it is
+	// excluded from CanonicalDigest.
+	Observer stagegraph.Observer
 }
 
 // RetryPolicy bounds the recovery from recoverable storage errors;

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// digest.go canonicalizes an AppConfig into a content address. The
+// service daemon keys its result cache on this digest (combined with
+// the job's own fields — pipeline, case study, seed), so two submits
+// describing the same run collapse onto one execution.
+//
+// The canonical form covers exactly the serializable surface that
+// determines a run's output: solver parameters, compute and payload
+// sizing, render options, the checkpoint policy and knobs, fault
+// injection, and the retry policy. Behavioral extension points that
+// cannot be canonicalized — NewSimulator, Store, Observer — contribute
+// only their presence: callers substituting custom behavior must fold
+// its identity into their own cache key (the service includes the app
+// name it wired, for example). Observers are excluded entirely: they
+// are side-effect-free by contract and never change run output.
+
+// CanonicalDigest returns a stable hex-encoded SHA-256 fingerprint of
+// the configuration. Equal digests mean the configs drive
+// byte-identical runs for the same (pipeline, case study, seed) —
+// field order is fixed, defaults are applied before hashing, and every
+// value is written in an unambiguous textual form.
+func (cfg AppConfig) CanonicalDigest() string {
+	h := sha256.New()
+	writeCanonical(h, cfg)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonical writes the canonical one-field-per-line form. It is
+// separate from CanonicalDigest so tests can inspect the exact bytes
+// being fingerprinted.
+func writeCanonical(w io.Writer, cfg AppConfig) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("v1\n")
+	// heat.Params is a flat value struct (Sources are values too), so
+	// %+v is deterministic.
+	p("heat:%+v\n", cfg.Heat)
+	p("substeps:%d real:%d\n", cfg.SubstepsPerIteration, cfg.RealSubsteps)
+	p("payload ckpt:%d insitu:%d\n", cfg.CheckpointPayload, cfg.InsituPayload)
+	// Render holds a *Colormap; hash the remaining fields explicitly so
+	// no pointer address leaks into the digest.
+	p("render:%dx%d lo:%g hi:%g iso:%v isocolor:%v colormap:%t\n",
+		cfg.Render.Width, cfg.Render.Height, cfg.Render.Lo, cfg.Render.Hi,
+		cfg.Render.Isolines, cfg.Render.IsolineColor, cfg.Render.Colormap != nil)
+	p("ckptpolicy:%d\n", cfg.CheckpointPolicy)
+	p("knobs nosync:%t compress:%t cinema:%d async:%t retain:%t\n",
+		cfg.InsituNoSync, cfg.CompressInsitu, cfg.CinemaVariants,
+		cfg.AsyncCheckpoint, cfg.RetainFrames)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		p("faults:%+v\n", *cfg.Faults)
+	} else {
+		p("faults:off\n")
+	}
+	p("retry:%+v\n", cfg.Retry.WithDefaults())
+	// Extension points: presence only (see package comment above).
+	p("custom sim:%t store:%t\n", cfg.NewSimulator != nil, cfg.Store != nil)
+}

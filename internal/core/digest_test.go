@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core/stagegraph"
+	"repro/internal/fault"
+	"repro/internal/units"
+)
+
+// nopObserver is the minimal observer used to verify digest exclusion.
+type nopObserver struct{}
+
+func (*nopObserver) RunStart(stagegraph.Spec)                                 {}
+func (*nopObserver) StageDone(stagegraph.Stage, units.Seconds, units.Seconds) {}
+func (*nopObserver) RunEnd(stagegraph.Spec)                                   {}
+
+func TestCanonicalDigestStable(t *testing.T) {
+	a := DefaultAppConfig()
+	b := DefaultAppConfig()
+	if a.CanonicalDigest() != b.CanonicalDigest() {
+		t.Fatal("equal configs produced different digests")
+	}
+	if got := a.CanonicalDigest(); len(got) != 64 {
+		t.Fatalf("digest %q is not hex sha256", got)
+	}
+}
+
+func TestCanonicalDigestSensitivity(t *testing.T) {
+	base := DefaultAppConfig()
+	mutate := map[string]func(*AppConfig){
+		"real substeps": func(c *AppConfig) { c.RealSubsteps = 32 },
+		"payload":       func(c *AppConfig) { c.CheckpointPayload++ },
+		"render size":   func(c *AppConfig) { c.Render.Width = 256 },
+		"isolines":      func(c *AppConfig) { c.Render.Isolines = []float64{1} },
+		"nosync":        func(c *AppConfig) { c.InsituNoSync = true },
+		"compress":      func(c *AppConfig) { c.CompressInsitu = true },
+		"cinema":        func(c *AppConfig) { c.CinemaVariants = 2 },
+		"faults":        func(c *AppConfig) { c.Faults = &fault.Config{ReadErr: 0.1} },
+		"retry":         func(c *AppConfig) { c.Retry.MaxAttempts = 5 },
+		"heat grid":     func(c *AppConfig) { c.Heat.NX = 64 },
+		"custom sim":    func(c *AppConfig) { c.NewSimulator = func() Simulator { return nil } },
+	}
+	want := base.CanonicalDigest()
+	for name, mut := range mutate {
+		c := DefaultAppConfig()
+		mut(&c)
+		if c.CanonicalDigest() == want {
+			t.Errorf("mutation %q did not change the digest", name)
+		}
+	}
+}
+
+// TestCanonicalDigestIgnoresObserver pins the exclusion contract:
+// attaching an observer (or disabled faults) must not move a config to
+// a different cache slot — the run output is identical.
+func TestCanonicalDigestIgnoresObserver(t *testing.T) {
+	base := DefaultAppConfig()
+	withObs := DefaultAppConfig()
+	withObs.Observer = &nopObserver{}
+	if base.CanonicalDigest() != withObs.CanonicalDigest() {
+		t.Error("observer changed the digest; it must be excluded")
+	}
+	withOff := DefaultAppConfig()
+	withOff.Faults = &fault.Config{} // all-zero rates: injection off
+	if base.CanonicalDigest() != withOff.CanonicalDigest() {
+		t.Error("disabled fault config changed the digest")
+	}
+}
+
+// TestCanonicalFormNoAddresses guards against pointer addresses
+// leaking into the canonical form (they would break determinism across
+// processes).
+func TestCanonicalFormNoAddresses(t *testing.T) {
+	cfg := DefaultAppConfig()
+	cfg.Render.Colormap = nil // exercised via the %t presence bit
+	var sb strings.Builder
+	writeCanonical(&sb, cfg)
+	if strings.Contains(sb.String(), "0x") {
+		t.Fatalf("canonical form contains a pointer address:\n%s", sb.String())
+	}
+}

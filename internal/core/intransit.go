@@ -89,6 +89,7 @@ func RunOnCluster(c *Cluster, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResul
 		StageTime: ledger.StageTime,
 	}
 	eng := stagegraph.New(c.Sim, ledger, cfg.Retry)
+	eng.Observer = cfg.Observer
 
 	startT := c.Engine.Now()
 	simE0 := c.Sim.SystemEnergy()

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// resultjson.go is the one RunResult JSON serializer: the CLI's
+// -format json mode and the service daemon's report endpoint both call
+// EncodeJSON, so a run reported over HTTP is byte-identical to the
+// same run reported at the terminal. The encoding is deterministic —
+// struct fields in declaration order, map keys sorted by
+// encoding/json — which lets the service content-address report
+// bodies and tests diff them byte for byte.
+
+// MarshalJSON encodes a pipeline as its canonical name ("in-situ",
+// "post-processing", ...), not its internal enum value.
+func (p Pipeline) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON accepts either the canonical name or the CLI flag
+// form ("insitu", "post", ...).
+func (p *Pipeline) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for _, cand := range Pipelines() {
+		if cand.String() == s || cand.Flag() == s {
+			*p = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown pipeline %q", s)
+}
+
+// EncodeJSON writes the result as deterministic, indented JSON with a
+// trailing newline. Identical results produce identical bytes.
+func (r *RunResult) EncodeJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -66,6 +66,7 @@ func Run(n *node.Node, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResult {
 		StageTime: ledger.StageTime,
 	}
 	eng := stagegraph.New(n, ledger, cfg.Retry)
+	eng.Observer = cfg.Observer
 
 	startT := n.Now()
 	startE := n.SystemEnergy()

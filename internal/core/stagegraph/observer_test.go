@@ -1,0 +1,166 @@
+package stagegraph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// obsClock is a minimal virtual clock: Do brackets advance it so
+// stage intervals are non-degenerate.
+type obsClock struct{ t units.Seconds }
+
+func (c *obsClock) Now() units.Seconds   { c.t += 0.5; return c.t }
+func (c *obsClock) Idle(d units.Seconds) { c.t += d }
+
+// recObserver records every callback in order.
+type recObserver struct {
+	events []string
+}
+
+func (o *recObserver) RunStart(s Spec) { o.events = append(o.events, "start:"+s.Name) }
+func (o *recObserver) StageDone(st Stage, start, end units.Seconds) {
+	o.events = append(o.events, fmt.Sprintf("stage:%s[%v,%v]", st.Phase, start < end, st.Kind))
+}
+func (o *recObserver) RunEnd(s Spec) { o.events = append(o.events, "end:"+s.Name) }
+
+func obsSpec(program func(*Exec)) Spec {
+	return Spec{
+		Name:   "observed",
+		Inputs: []string{"in"},
+		Stages: []Stage{
+			{Kind: Simulate, Phase: "simulation", Uses: []string{"in"}, Yields: []string{"field"}},
+			{Kind: Render, Phase: "visualization", Uses: []string{"field"}, Yields: []string{"frame"}},
+			{Kind: Barrier, Uses: []string{"frame"}},
+		},
+		Program: program,
+	}
+}
+
+// TestObserverOrder verifies the callback contract: RunStart, one
+// StageDone per timed execution in execution order (untimed glue
+// invisible), RunEnd.
+func TestObserverOrder(t *testing.T) {
+	sim := Stage{Kind: Simulate, Phase: "simulation", Uses: []string{"in"}, Yields: []string{"field"}}
+	viz := Stage{Kind: Render, Phase: "visualization", Uses: []string{"field"}, Yields: []string{"frame"}}
+	barrier := Stage{Kind: Barrier, Uses: []string{"frame"}}
+	spec := obsSpec(func(x *Exec) {
+		x.Do(sim, func() {})
+		x.Do(viz, func() {})
+		x.Do(sim, func() {})
+		x.Do(barrier, func() {}) // untimed: no callback
+	})
+	obs := &recObserver{}
+	eng := New(&obsClock{}, NewLedger(nil), RetryPolicy{})
+	eng.Observer = obs
+	if err := eng.Run(spec); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{
+		"start:observed",
+		"stage:simulation[true,Simulate]",
+		"stage:visualization[true,Render]",
+		"stage:simulation[true,Simulate]",
+		"end:observed",
+	}
+	if len(obs.events) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(obs.events), obs.events, len(want))
+	}
+	for i := range want {
+		if obs.events[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, obs.events[i], want[i])
+		}
+	}
+}
+
+// panicObserver aborts the run on the nth StageDone — the cancellation
+// mechanism the service daemon uses.
+type panicObserver struct {
+	n     int
+	calls int
+}
+
+func (o *panicObserver) RunStart(Spec) {}
+func (o *panicObserver) StageDone(Stage, units.Seconds, units.Seconds) {
+	o.calls++
+	if o.calls >= o.n {
+		panic(errAbortForTest)
+	}
+}
+func (o *panicObserver) RunEnd(Spec) {}
+
+var errAbortForTest = fmt.Errorf("abort")
+
+// TestObserverPanicAborts verifies an observer panic propagates
+// unwrapped through Engine.Run and leaves the engine reusable.
+func TestObserverPanicAborts(t *testing.T) {
+	sim := Stage{Kind: Simulate, Phase: "simulation", Uses: []string{"in"}, Yields: []string{"field"}}
+	spec := obsSpec(func(x *Exec) {
+		for i := 0; i < 10; i++ {
+			x.Do(sim, func() {})
+		}
+	})
+	obs := &panicObserver{n: 3}
+	eng := New(&obsClock{}, NewLedger(nil), RetryPolicy{})
+	eng.Observer = obs
+
+	func() {
+		defer func() {
+			if r := recover(); r != errAbortForTest {
+				t.Fatalf("recovered %v, want errAbortForTest", r)
+			}
+		}()
+		eng.Run(spec) //nolint:errcheck // aborts by panic
+		t.Fatal("run completed despite aborting observer")
+	}()
+	if obs.calls != 3 {
+		t.Fatalf("observer called %d times, want 3", obs.calls)
+	}
+
+	// The engine must be reusable after an aborted run.
+	eng.Observer = nil
+	ok := obsSpec(func(x *Exec) { x.Do(sim, func() {}) })
+	if err := eng.Run(ok); err != nil {
+		t.Fatalf("Run after abort: %v", err)
+	}
+}
+
+// TestNilObserverZeroAllocs pins the cost of the hook when nobody
+// subscribes: a timed stage execution with a nil observer (and nil
+// profile) must not allocate — the hook is one nil check on the hot
+// path. This guards the golden-digest harness' performance contract.
+func TestNilObserverZeroAllocs(t *testing.T) {
+	sim := Stage{Kind: Simulate, Phase: "simulation", Uses: []string{"in"}, Yields: []string{"field"}}
+	var allocs float64
+	spec := obsSpec(func(x *Exec) {
+		x.Do(sim, func() {}) // warm the StageTime map entry
+		allocs = testing.AllocsPerRun(1000, func() {
+			x.Do(sim, func() {})
+		})
+	})
+	eng := New(&obsClock{}, NewLedger(nil), RetryPolicy{})
+	if err := eng.Run(spec); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if allocs != 0 {
+		t.Fatalf("nil-observer Do allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDoNilObserver measures the per-execution engine overhead
+// with no subscriber attached (the default for every CLI run).
+func BenchmarkDoNilObserver(b *testing.B) {
+	sim := Stage{Kind: Simulate, Phase: "simulation", Uses: []string{"in"}, Yields: []string{"field"}}
+	spec := obsSpec(func(x *Exec) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x.Do(sim, func() {})
+		}
+	})
+	eng := New(&obsClock{}, NewLedger(nil), RetryPolicy{})
+	if err := eng.Run(spec); err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}

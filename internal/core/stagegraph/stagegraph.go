@@ -169,16 +169,17 @@ func (p RetryPolicy) WithDefaults() RetryPolicy {
 type RecoveryStats struct {
 	// WriteRetries / ReadRetries count repeated attempts after a
 	// transient failure (the initial attempt is not counted).
-	WriteRetries, ReadRetries uint64
+	WriteRetries uint64 `json:"write_retries"`
+	ReadRetries  uint64 `json:"read_retries"`
 	// LostWrites counts writes abandoned after the retry budget: a lost
 	// checkpoint is recovered later by re-simulation; a lost frame or
 	// reduced data product is simply absent from disk.
-	LostWrites uint64
+	LostWrites uint64 `json:"lost_writes"`
 	// Resimulations counts checkpoints recomputed from initial
 	// conditions because storage could not produce an intact copy.
-	Resimulations uint64
+	Resimulations uint64 `json:"resimulations"`
 	// BackoffTime is the simulated time spent waiting between retries.
-	BackoffTime units.Seconds
+	BackoffTime units.Seconds `json:"backoff_seconds"`
 }
 
 // Total returns the number of recovery actions taken.
@@ -191,6 +192,28 @@ func (s RecoveryStats) Total() uint64 {
 type Clock interface {
 	Now() units.Seconds
 	Idle(units.Seconds)
+}
+
+// Observer receives engine progress callbacks: one RunStart/RunEnd
+// pair per executed spec, and one StageDone per timed stage execution
+// (untimed glue stages are invisible, exactly like the time ledger).
+// Callbacks fire synchronously on the run's goroutine, in execution
+// order, with the engine's virtual timestamps.
+//
+// A nil Engine.Observer — the default everywhere outside the service
+// daemon — is zero-cost and side-effect-free: the hot path pays one
+// nil check and nothing else (guarded by a 0 allocs/op regression
+// test). Observers must not mutate the stage or the engine; they may
+// panic to abort a run from the outside (e.g. job cancellation), and
+// the panic propagates unwrapped through Engine.Run to the caller.
+type Observer interface {
+	// RunStart fires after the spec validates, before its program runs.
+	RunStart(spec Spec)
+	// StageDone fires after each timed stage execution with the
+	// execution's virtual start and end times.
+	StageDone(st Stage, start, end units.Seconds)
+	// RunEnd fires when the spec's program returns normally.
+	RunEnd(spec Spec)
 }
 
 // Ledger receives what the engine accounts per run: the optional
@@ -223,6 +246,9 @@ type Engine struct {
 	Clock  Clock
 	Ledger *Ledger
 	Retry  RetryPolicy
+	// Observer, when non-nil, receives run and stage progress
+	// callbacks; nil costs nothing (see Observer).
+	Observer Observer
 
 	spec *Spec
 }
@@ -243,7 +269,13 @@ func (e *Engine) Run(s Spec) error {
 	}
 	e.spec = &s
 	defer func() { e.spec = nil }()
+	if e.Observer != nil {
+		e.Observer.RunStart(s)
+	}
 	s.Program(&Exec{eng: e})
+	if e.Observer != nil {
+		e.Observer.RunEnd(s)
+	}
 	return nil
 }
 
@@ -275,6 +307,9 @@ func (x *Exec) Do(st Stage, body func()) {
 		e.Ledger.Profile.MarkPhase(st.Phase, start, end)
 	}
 	e.Ledger.StageTime[st.Phase] += end - start
+	if e.Observer != nil {
+		e.Observer.StageDone(st, start, end)
+	}
 }
 
 // backoff charges the exponential simulated-time wait before retry

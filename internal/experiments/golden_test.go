@@ -31,10 +31,9 @@ func goldenSuite() *Suite {
 	return NewSuite(1, &cfg)
 }
 
-// goldenBlock is the exact stdout block the CLI prints per experiment.
-func goldenBlock(r Report) string {
-	return fmt.Sprintf("== %s ==\n%s\n%s\n", r.ID, r.Title, r.Body)
-}
+// goldenBlock is the exact stdout block the CLI prints per experiment
+// and the service daemon serves as an experiment job's report body.
+func goldenBlock(r Report) string { return r.Block() }
 
 func goldenPath(id string) string {
 	return filepath.Join("testdata", "golden", id+".sha256")

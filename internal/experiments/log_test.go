@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// syncBuffer lets the race detector verify Suite serializes its log
+// writes across driver goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// fastSuite is a cheap suite for logging tests: minimal real substeps
+// and small fio files (logging is orthogonal to fidelity).
+func fastSuite() *Suite {
+	cfg := core.DefaultAppConfig()
+	cfg.RealSubsteps = 1
+	s := NewSuite(1, &cfg)
+	s.Fio.FileSize = 64 * units.MiB
+	return s
+}
+
+// TestSuiteQuietByDefault pins the daemon-facing contract: a suite
+// with no Log attached emits nothing, anywhere.
+func TestSuiteQuietByDefault(t *testing.T) {
+	s := fastSuite()
+	s.Fig4() // exercises shared runs
+	// Nothing observable to assert beyond "no panic from a nil writer";
+	// logf must tolerate the nil default on every path.
+	s.logf("should be dropped %d\n", 1)
+}
+
+// TestSuiteLogsWallTimes verifies RunAll writes one line per
+// experiment to an attached Log and that the report bodies are
+// unaffected by logging.
+func TestSuiteLogsWallTimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry")
+	}
+	logged := fastSuite()
+	var buf syncBuffer
+	logged.Log = &buf
+	withLog, err := logged.RunAll(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(Registry()) {
+		t.Fatalf("logged %d lines, want one per experiment (%d):\n%s", len(lines), len(Registry()), out)
+	}
+	for _, e := range Registry() {
+		if !strings.Contains(out, e.ID) {
+			t.Errorf("no wall-time line for %s", e.ID)
+		}
+	}
+
+	// Logging must not leak into report bodies: a quiet suite's fig4
+	// matches the logged suite's byte for byte.
+	quiet := fastSuite().Fig4()
+	for _, r := range withLog {
+		if r.ID == "fig4" && r.Body != quiet.Body {
+			t.Error("fig4 body differs with logging attached")
+		}
+	}
+}

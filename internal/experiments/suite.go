@@ -10,6 +10,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -22,9 +23,17 @@ import (
 
 // Report is one regenerated artifact.
 type Report struct {
-	ID    string // "table1", "fig4", ... "hypothetical"
-	Title string
-	Body  string
+	ID    string `json:"id"` // "table1", "fig4", ... "hypothetical"
+	Title string `json:"title"`
+	Body  string `json:"body"`
+}
+
+// Block returns the report's canonical stdout block — the exact bytes
+// the CLI prints per experiment and the service daemon serves as the
+// job report. The golden-digest harness fingerprints this block, so
+// every consumer of Block is regression-gated together.
+func (r Report) Block() string {
+	return fmt.Sprintf("== %s ==\n%s\n%s\n", r.ID, r.Title, r.Body)
 }
 
 // cell is a singleflight cache slot: the first caller computes the
@@ -53,8 +62,15 @@ type Suite struct {
 	Config core.AppConfig
 	// Fio configures the Table III runs (default: the paper's 4 GiB).
 	Fio fio.Config
+	// Log, when non-nil, receives one per-experiment wall-time line as
+	// each RunAll driver completes. Nil — the default — is quiet mode:
+	// embedded suite runs (the service daemon, library callers) emit
+	// nothing; the CLI points it at stderr. Report bodies are unaffected
+	// either way.
+	Log io.Writer
 
 	mu        sync.Mutex
+	logMu     sync.Mutex
 	runs      map[string]*cell[*core.RunResult]
 	fioOut    cell[[]fio.Result]
 	stageChar cell[*core.StageCharacterization]
@@ -68,6 +84,17 @@ func NewSuite(seed uint64, cfg *core.AppConfig) *Suite {
 		c = *cfg
 	}
 	return &Suite{Seed: seed, Config: c, Fio: fio.DefaultConfig(), runs: map[string]*cell[*core.RunResult]{}}
+}
+
+// logf writes one progress line to Suite.Log, if attached. Drivers run
+// on several goroutines, so writes are serialized here.
+func (s *Suite) logf(format string, args ...any) {
+	if s.Log == nil {
+		return
+	}
+	s.logMu.Lock()
+	fmt.Fprintf(s.Log, format, args...)
+	s.logMu.Unlock()
 }
 
 // seedFor derives the stream seed for a named component. Equal
@@ -213,7 +240,9 @@ func (s *Suite) RunAll(ctx context.Context, workers int) ([]Timed, error) {
 			for i := range idx {
 				start := time.Now()
 				r := reg[i].Run(s)
-				out[i] = Timed{Report: r, Wall: time.Since(start)}
+				wall := time.Since(start)
+				out[i] = Timed{Report: r, Wall: wall}
+				s.logf("%-12s %8.2fs\n", r.ID, wall.Seconds())
 			}
 		}()
 	}

@@ -81,12 +81,12 @@ func (c Config) withDefaults() Config {
 // Stats counts the faults an injector has fired, for attribution in
 // run results and reports.
 type Stats struct {
-	BitRots       uint64
-	ReadErrors    uint64
-	WriteErrors   uint64
-	LatencySpikes uint64
-	SpikeTime     units.Seconds
-	ServerDrops   uint64
+	BitRots       uint64        `json:"bit_rots"`
+	ReadErrors    uint64        `json:"read_errors"`
+	WriteErrors   uint64        `json:"write_errors"`
+	LatencySpikes uint64        `json:"latency_spikes"`
+	SpikeTime     units.Seconds `json:"spike_seconds"`
+	ServerDrops   uint64        `json:"server_drops"`
 }
 
 // Total returns the number of discrete fault events fired.

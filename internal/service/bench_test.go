@@ -1,0 +1,107 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServiceThroughput measures the service-layer cost of one
+// full API round trip — submit, status, report — against a warm cache
+// entry, with a stub runner so the simulation core is out of the
+// picture. This is the overhead greenvizd adds over calling the
+// library directly; scripts/bench.sh tracks it per PR.
+func BenchmarkServiceThroughput(b *testing.B) {
+	m := NewManager(Options{Workers: 2})
+	stub := &stubRunner{report: []byte("== fig4 ==\nbench\nbody\n")}
+	m.run = stub.run
+	srv := httptest.NewServer(Handler(m))
+	defer func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+
+	// Warm the cache entry every iteration hits.
+	warm, err := m.Submit(JobSpec{Experiment: "fig4"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for warm.State() != StateDone {
+		time.Sleep(time.Millisecond)
+	}
+
+	body, _ := json.Marshal(JobSpec{Experiment: "fig4"})
+	client := srv.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			var view jobView
+			if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+				b.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if view.State != StateDone {
+				b.Errorf("cache hit state = %s", view.State)
+				return
+			}
+			rresp, err := client.Get(srv.URL + "/v1/jobs/" + view.ID + "/report")
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, rresp.Body)
+			rresp.Body.Close()
+		}
+	})
+}
+
+// BenchmarkSubmitDedup measures the manager-only submit path (no HTTP)
+// for deduplicated submits against an in-flight execution.
+func BenchmarkSubmitDedup(b *testing.B) {
+	m := NewManager(Options{Workers: 1})
+	block := make(chan struct{})
+	stub := &stubRunner{block: block, report: []byte("r")}
+	m.run = stub.run
+	defer func() {
+		close(block)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+	if _, err := m.Submit(JobSpec{Experiment: "fig4"}); err != nil {
+		b.Fatal(err)
+	}
+
+	spec := JobSpec{Experiment: "fig4"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Submit(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpecDigest measures the content-addressing cost alone.
+func BenchmarkSpecDigest(b *testing.B) {
+	spec := JobSpec{Pipeline: "insitu", Case: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Digest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core/stagegraph"
+	"repro/internal/units"
+)
+
+// events.go is the live progress side of the service: every execution
+// owns an append-only event log that SSE subscribers replay and then
+// follow. Events come from two sources — the manager's lifecycle
+// transitions (queued, running, done/failed/canceled) and the
+// stage-graph engine's observer hook, which the execution's observer
+// coalesces to one "stage" event per distinct engine stage, in first
+// execution order. Because runs are deterministic, so is the event
+// sequence a job emits.
+
+// Event is one SSE payload.
+type Event struct {
+	// Seq numbers events from 1 within one execution.
+	Seq int `json:"seq"`
+	// Type is "queued", "running", "run", "stage", "done", "failed",
+	// or "canceled".
+	Type string `json:"type"`
+	// Run is the pipeline spec name ("post-processing", "in-situ", ...)
+	// on "run" events: one per underlying engine run, so experiment
+	// jobs show each shared run they trigger.
+	Run string `json:"run,omitempty"`
+	// Stage is the engine stage's phase name on "stage" events
+	// ("simulation", "nnwrite", ...), emitted once per distinct stage.
+	Stage string `json:"stage,omitempty"`
+	// At is the virtual time of the stage's first completion.
+	At units.Seconds `json:"at,omitempty"`
+	// Error carries the failure reason on "failed" events.
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether this event closes the stream.
+func (e Event) Terminal() bool {
+	switch e.Type {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// eventLog is an append-only, closable event sequence supporting
+// replay-then-follow subscribers. The zero value is not usable; use
+// newEventLog.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+	wake   chan struct{} // closed and replaced on every append
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// emit appends one event, assigning its sequence number. Terminal
+// events close the log; emits after close are dropped (a canceled
+// execution may race its own completion).
+func (l *eventLog) emit(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	ev.Seq = len(l.events) + 1
+	l.events = append(l.events, ev)
+	if ev.Terminal() {
+		l.closed = true
+	}
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// after returns the events past idx, whether the log is closed, and a
+// channel that is closed on the next append — the subscriber's wait
+// primitive.
+func (l *eventLog) after(idx int) ([]Event, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if idx > len(l.events) {
+		idx = len(l.events)
+	}
+	return l.events[idx:], l.closed, l.wake
+}
+
+// snapshot returns a copy of all events so far.
+func (l *eventLog) snapshot() []Event {
+	evs, _, _ := l.after(0)
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	return out
+}
+
+// len returns the number of events emitted so far.
+func (l *eventLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// jobCanceled is the sentinel the execution observer panics with to
+// abort a run mid-flight; the manager's worker recovers it and
+// finalizes the job as canceled. It deliberately never escapes the
+// package: safeRun translates it to context.Canceled.
+type jobCanceled struct{}
+
+// jobObserver adapts the stage-graph engine's observer hook to an
+// execution: it streams coalesced progress into the event log,
+// accumulates per-stage virtual seconds into the service metrics, and
+// aborts the run (by panicking with jobCanceled) once the execution's
+// context is canceled — the only way to stop a pipeline mid-run
+// without threading a context through the deterministic core.
+type jobObserver struct {
+	ctx context.Context
+	log *eventLog
+	met *Metrics
+
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func newJobObserver(ctx context.Context, log *eventLog, met *Metrics) *jobObserver {
+	return &jobObserver{ctx: ctx, log: log, met: met, seen: map[string]bool{}}
+}
+
+func (o *jobObserver) RunStart(spec stagegraph.Spec) {
+	o.checkCanceled()
+	o.log.emit(Event{Type: "run", Run: spec.Name})
+}
+
+func (o *jobObserver) StageDone(st stagegraph.Stage, start, end units.Seconds) {
+	o.checkCanceled()
+	o.met.addStageTime(st.Phase, end-start)
+	o.mu.Lock()
+	first := !o.seen[st.Phase]
+	o.seen[st.Phase] = true
+	o.mu.Unlock()
+	if first {
+		o.log.emit(Event{Type: "stage", Stage: st.Phase, At: end})
+	}
+}
+
+func (o *jobObserver) RunEnd(stagegraph.Spec) { o.checkCanceled() }
+
+func (o *jobObserver) checkCanceled() {
+	if o.ctx.Err() != nil {
+		panic(jobCanceled{})
+	}
+}

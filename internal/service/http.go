@@ -1,0 +1,229 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// jobView is the JSON shape of one job in API responses.
+type jobView struct {
+	ID     string  `json:"id"`
+	State  State   `json:"state"`
+	Digest string  `json:"digest"`
+	Spec   JobSpec `json:"spec"`
+	Error  string  `json:"error,omitempty"`
+}
+
+func viewOf(j *Job) jobView {
+	return jobView{ID: j.ID, State: j.State(), Digest: j.Digest(), Spec: j.Spec, Error: j.Err()}
+}
+
+// Handler serves the greenvizd API for a manager:
+//
+//	POST   /v1/jobs             submit a JobSpec; 202 with the job view
+//	GET    /v1/jobs             list jobs in submission order
+//	GET    /v1/jobs/{id}        one job's status
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/report the deterministic report bytes (409 until done)
+//	GET    /v1/jobs/{id}/events live progress over SSE (replays, then follows)
+//	GET    /v1/experiments      the experiment registry
+//	GET    /v1/pipelines        the pipeline registry
+//	GET    /metrics             plain-text counters
+//	GET    /debug/pprof/...     runtime profiles
+//
+// Submit errors map to status codes: invalid spec 400, queue full 429,
+// draining 503.
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+			return
+		}
+		job, err := m.Submit(spec)
+		if err != nil {
+			var bad *BadSpecError
+			switch {
+			case errors.As(err, &bad):
+				httpError(w, http.StatusBadRequest, err)
+			case errors.Is(err, ErrQueueFull):
+				httpError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrDraining):
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusAccepted, viewOf(job))
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		views := make([]jobView, 0, len(jobs))
+		for _, j := range jobs {
+			views = append(views, viewOf(j))
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := lookup(w, m, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, viewOf(job))
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		state, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]State{"state": state})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := lookup(w, m, r)
+		if !ok {
+			return
+		}
+		body, done := job.Report()
+		if !done {
+			st := job.State()
+			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s, report available once done", job.ID, st))
+			return
+		}
+		if job.Spec.Kind == KindPipeline {
+			w.Header().Set("Content-Type", "application/json")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		}
+		w.Header().Set("X-Job-Digest", job.Digest())
+		w.Write(body)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := lookup(w, m, r)
+		if !ok {
+			return
+		}
+		serveSSE(w, r, job.Events())
+	})
+
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		type expView struct {
+			ID          string `json:"id"`
+			Description string `json:"description"`
+		}
+		var out []expView
+		for _, e := range experiments.Registry() {
+			out = append(out, expView{e.ID, e.Description})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/pipelines", func(w http.ResponseWriter, r *http.Request) {
+		type pipeView struct {
+			Flag      string `json:"flag"`
+			Name      string `json:"name"`
+			Clustered bool   `json:"clustered"`
+		}
+		var out []pipeView
+		for _, p := range core.Pipelines() {
+			out = append(out, pipeView{p.Flag(), p.String(), p.Clustered()})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		m.Metrics.WriteTo(w, m.QueueDepth(), m.CacheEntries())
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// lookup resolves {id}, writing the 404 itself on a miss.
+func lookup(w http.ResponseWriter, m *Manager, r *http.Request) (*Job, bool) {
+	job, err := m.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return job, true
+}
+
+// serveSSE streams a job's event log as Server-Sent Events: it replays
+// everything emitted so far, then follows live until the log closes
+// (terminal event) or the client disconnects. Each event goes out as
+//
+//	event: <type>
+//	data: {"seq":N,"type":...}
+//
+// so curl -N shows progress line by line and EventSource clients can
+// subscribe per type.
+func serveSSE(w http.ResponseWriter, r *http.Request, log *eventLog) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	idx := 0
+	for {
+		events, closed, wake := log.after(idx)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		}
+		idx += len(events)
+		if len(events) > 0 {
+			fl.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

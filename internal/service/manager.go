@@ -1,0 +1,428 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull is backpressure: the submit queue is at capacity.
+	ErrQueueFull = errors.New("service: submit queue full")
+	// ErrDraining rejects submits during graceful shutdown.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrNoSuchJob is returned for unknown job IDs.
+	ErrNoSuchJob = errors.New("service: no such job")
+)
+
+// BadSpecError wraps a spec validation failure (HTTP 400).
+type BadSpecError struct{ Err error }
+
+func (e *BadSpecError) Error() string { return e.Err.Error() }
+func (e *BadSpecError) Unwrap() error { return e.Err }
+
+// State is a job's lifecycle position.
+type State string
+
+// The job states. A job is terminal in StateDone, StateFailed, and
+// StateCanceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// execution is one underlying run: the unit the cache content-
+// addresses and the worker pool executes. Any number of jobs attach to
+// one execution (singleflight); they share its event log and report
+// bytes.
+type execution struct {
+	digest string
+	spec   JobSpec // normalized
+	log    *eventLog
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  State
+	report []byte
+	err    error
+	refs   int // attached, un-canceled jobs
+}
+
+func (e *execution) getState() State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
+}
+
+// Job is one accepted submission. Deduped jobs point at a shared
+// execution; a job canceled while others remain attached detaches
+// without stopping the run.
+type Job struct {
+	ID   string
+	Spec JobSpec // normalized
+	exec *execution
+
+	canceled atomic.Bool
+}
+
+// State returns the job's effective state: its execution's, unless
+// this job was individually canceled.
+func (j *Job) State() State {
+	if j.canceled.Load() {
+		return StateCanceled
+	}
+	return j.exec.getState()
+}
+
+// Digest returns the job's content address.
+func (j *Job) Digest() string { return j.exec.digest }
+
+// Err returns the execution error for failed jobs ("" otherwise).
+func (j *Job) Err() string {
+	j.exec.mu.Lock()
+	defer j.exec.mu.Unlock()
+	if j.exec.err != nil {
+		return j.exec.err.Error()
+	}
+	return ""
+}
+
+// Report returns the report bytes and true once the job is done.
+func (j *Job) Report() ([]byte, bool) {
+	j.exec.mu.Lock()
+	defer j.exec.mu.Unlock()
+	if j.exec.state != StateDone {
+		return nil, false
+	}
+	return j.exec.report, true
+}
+
+// Events exposes the job's event log for SSE streaming.
+func (j *Job) Events() *eventLog { return j.exec.log }
+
+// Options sizes a Manager.
+type Options struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the submit queue; a full queue rejects with
+	// ErrQueueFull (default 64).
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	return o
+}
+
+// runFunc executes one normalized spec and returns its report bytes.
+// It is a field (not a call) so tests can substitute a controllable
+// runner; the default is runSpec.
+type runFunc func(ctx context.Context, spec JobSpec, obs *jobObserver) ([]byte, error)
+
+// Manager owns the service state: the job table, the content-
+// addressed execution cache, the bounded submit queue, and the worker
+// pool. All methods are safe for concurrent use.
+type Manager struct {
+	opts    Options
+	run     runFunc
+	Metrics Metrics
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order
+	cache    map[string]*execution
+	nextID   int
+
+	queue chan *execution
+	wg    sync.WaitGroup
+}
+
+// NewManager starts a manager and its worker pool.
+func NewManager(opts Options) *Manager {
+	m := &Manager{
+		opts:  opts.withDefaults(),
+		run:   runSpec,
+		jobs:  map[string]*Job{},
+		cache: map[string]*execution{},
+	}
+	m.queue = make(chan *execution, m.opts.QueueDepth)
+	for i := 0; i < m.opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit accepts a job spec: it normalizes and content-addresses it,
+// then either attaches the new job to an existing execution (cache
+// hit or in-flight singleflight) or enqueues a fresh execution.
+// Returns ErrDraining during shutdown, a BadSpecError for invalid
+// specs, and ErrQueueFull when backpressure applies.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		m.Metrics.Rejected.Add(1)
+		return nil, &BadSpecError{err}
+	}
+	digest, err := norm.Digest()
+	if err != nil {
+		m.Metrics.Rejected.Add(1)
+		return nil, &BadSpecError{err}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.Metrics.Rejected.Add(1)
+		return nil, ErrDraining
+	}
+
+	if e, ok := m.cache[digest]; ok {
+		job := m.newJobLocked(norm, e)
+		e.mu.Lock()
+		e.refs++
+		done := e.state == StateDone
+		e.mu.Unlock()
+		if done {
+			m.Metrics.CacheHits.Add(1)
+		} else {
+			m.Metrics.Deduped.Add(1)
+		}
+		m.Metrics.Submitted.Add(1)
+		return job, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &execution{
+		digest: digest,
+		spec:   norm,
+		log:    newEventLog(),
+		ctx:    ctx,
+		cancel: cancel,
+		state:  StateQueued,
+		refs:   1,
+	}
+	select {
+	case m.queue <- e:
+	default:
+		cancel()
+		m.Metrics.Rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.cache[digest] = e
+	job := m.newJobLocked(norm, e)
+	e.log.emit(Event{Type: "queued"})
+	m.Metrics.Submitted.Add(1)
+	return job, nil
+}
+
+// newJobLocked allocates the next job ID; m.mu must be held.
+func (m *Manager) newJobLocked(spec JobSpec, e *execution) *Job {
+	m.nextID++
+	job := &Job{ID: fmt.Sprintf("job-%06d", m.nextID), Spec: spec, exec: e}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	return job
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNoSuchJob
+	}
+	return j, nil
+}
+
+// Jobs returns all jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels one job. If other jobs share its execution the run
+// continues for them and only this job reports canceled; the last
+// attached job aborts the execution (queued executions are skipped by
+// the worker, running ones stop at their next stage boundary via the
+// observer). Canceling a terminal job is a no-op returning its state.
+func (m *Manager) Cancel(id string) (State, error) {
+	job, err := m.Job(id)
+	if err != nil {
+		return "", err
+	}
+	if st := job.State(); st.Terminal() {
+		return st, nil
+	}
+	if job.canceled.CompareAndSwap(false, true) {
+		e := job.exec
+		e.mu.Lock()
+		e.refs--
+		last := e.refs <= 0
+		e.mu.Unlock()
+		if last {
+			e.cancel()
+		}
+	}
+	return StateCanceled, nil
+}
+
+// QueueDepth reports the submit queue's current length.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// CacheEntries reports the number of content-addressed executions.
+func (m *Manager) CacheEntries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cache)
+}
+
+// Draining reports whether shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Shutdown drains the manager: new submits are rejected with
+// ErrDraining immediately, queued and running executions finish, and
+// Shutdown returns when the pool is idle. If ctx expires first the
+// remaining executions are canceled (they stop at their next stage
+// boundary) and ctx's error is returned after the pool exits.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, e := range m.cache {
+			if !e.getState().Terminal() {
+				e.cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// worker drains the submit queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for e := range m.queue {
+		m.execute(e)
+	}
+}
+
+// execute runs one execution to a terminal state.
+func (m *Manager) execute(e *execution) {
+	if e.ctx.Err() != nil {
+		m.finish(e, nil, context.Canceled)
+		return
+	}
+	e.mu.Lock()
+	e.state = StateRunning
+	e.mu.Unlock()
+	e.log.emit(Event{Type: "running"})
+	m.Metrics.Running.Add(1)
+	m.Metrics.Executions.Add(1)
+
+	report, err := m.safeRun(e)
+	m.Metrics.Running.Add(-1)
+	m.finish(e, report, err)
+}
+
+// safeRun invokes the runner, translating the cancellation sentinel
+// (and any runner panic — a misconfigured run must not take the
+// daemon down) into an error.
+func (m *Manager) safeRun(e *execution) (report []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(jobCanceled); ok || e.ctx.Err() != nil {
+				err = context.Canceled
+				return
+			}
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	obs := newJobObserver(e.ctx, e.log, &m.Metrics)
+	return m.run(e.ctx, e.spec, obs)
+}
+
+// finish moves an execution to its terminal state, emits the terminal
+// event, updates counters, and — for anything but success — evicts the
+// digest from the cache so a later identical submit retries instead of
+// inheriting the failure.
+func (m *Manager) finish(e *execution, report []byte, err error) {
+	e.mu.Lock()
+	switch {
+	case errors.Is(err, context.Canceled):
+		e.state = StateCanceled
+		e.err = err
+	case err != nil:
+		e.state = StateFailed
+		e.err = err
+	default:
+		e.state = StateDone
+		e.report = report
+	}
+	state := e.state
+	e.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		m.Metrics.Completed.Add(1)
+		e.log.emit(Event{Type: "done"})
+	case StateCanceled:
+		m.Metrics.Canceled.Add(1)
+		e.log.emit(Event{Type: "canceled"})
+	default:
+		m.Metrics.Failed.Add(1)
+		e.log.emit(Event{Type: "failed", Error: err.Error()})
+	}
+	if state != StateDone {
+		m.mu.Lock()
+		if m.cache[e.digest] == e {
+			delete(m.cache, e.digest)
+		}
+		m.mu.Unlock()
+	}
+	e.cancel() // release the context regardless of outcome
+}

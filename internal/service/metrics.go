@@ -1,0 +1,72 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/units"
+)
+
+// Metrics is the service's plain-text counter set, served at
+// GET /metrics in a Prometheus-compatible exposition format (untyped
+// lines; no client dependency). Counters are monotonic totals; gauges
+// report instantaneous state the manager fills in at scrape time.
+type Metrics struct {
+	// Submission outcomes.
+	Submitted  atomic.Uint64 // accepted submits (including deduped)
+	Rejected   atomic.Uint64 // 4xx/5xx submits: bad spec, queue full, draining
+	Deduped    atomic.Uint64 // submits attached to an in-flight execution
+	CacheHits  atomic.Uint64 // submits served from a completed execution
+	Executions atomic.Uint64 // underlying runs actually started
+
+	// Execution outcomes.
+	Completed atomic.Uint64
+	Failed    atomic.Uint64
+	Canceled  atomic.Uint64
+
+	// Live state.
+	Running atomic.Int64
+
+	mu           sync.Mutex
+	stageSeconds map[string]float64
+}
+
+// addStageTime accumulates one stage execution's virtual duration.
+func (m *Metrics) addStageTime(phase string, d units.Seconds) {
+	m.mu.Lock()
+	if m.stageSeconds == nil {
+		m.stageSeconds = map[string]float64{}
+	}
+	m.stageSeconds[phase] += float64(d)
+	m.mu.Unlock()
+}
+
+// WriteTo writes the exposition text. Lines are sorted so scrapes are
+// stable; queueDepth and cacheEntries are gauges the manager samples.
+func (m *Metrics) WriteTo(w io.Writer, queueDepth, cacheEntries int) {
+	fmt.Fprintf(w, "greenvizd_cache_entries %d\n", cacheEntries)
+	fmt.Fprintf(w, "greenvizd_cache_hits_total %d\n", m.CacheHits.Load())
+	fmt.Fprintf(w, "greenvizd_executions_total %d\n", m.Executions.Load())
+	fmt.Fprintf(w, "greenvizd_jobs_canceled_total %d\n", m.Canceled.Load())
+	fmt.Fprintf(w, "greenvizd_jobs_completed_total %d\n", m.Completed.Load())
+	fmt.Fprintf(w, "greenvizd_jobs_deduped_total %d\n", m.Deduped.Load())
+	fmt.Fprintf(w, "greenvizd_jobs_failed_total %d\n", m.Failed.Load())
+	fmt.Fprintf(w, "greenvizd_jobs_rejected_total %d\n", m.Rejected.Load())
+	fmt.Fprintf(w, "greenvizd_jobs_running %d\n", m.Running.Load())
+	fmt.Fprintf(w, "greenvizd_jobs_submitted_total %d\n", m.Submitted.Load())
+	fmt.Fprintf(w, "greenvizd_queue_depth %d\n", queueDepth)
+
+	m.mu.Lock()
+	phases := make([]string, 0, len(m.stageSeconds))
+	for p := range m.stageSeconds {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	for _, p := range phases {
+		fmt.Fprintf(w, "greenvizd_stage_virtual_seconds_total{stage=%q} %.3f\n", p, m.stageSeconds[p])
+	}
+	m.mu.Unlock()
+}

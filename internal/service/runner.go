@@ -1,0 +1,77 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netio"
+	"repro/internal/node"
+	"repro/internal/units"
+)
+
+// runSpec is the production runner: it executes one normalized job
+// spec against the simulation core and returns the job's report
+// bytes. Determinism is the contract — equal specs must yield equal
+// bytes, because the manager serves cached reports by digest:
+//
+//   - experiment jobs build a fresh per-job Suite (the suite dedups
+//     the runs experiments share *within* the job; the manager's cache
+//     dedups *across* jobs) and report the exact CLI stdout block,
+//     which the golden-digest harness fingerprints;
+//   - pipeline jobs run the same preset resolution as the CLI and
+//     report the CLI's -format json encoding.
+//
+// Cancellation arrives through obs: the observer panics with the
+// jobCanceled sentinel at the next stage boundary once ctx is done,
+// and safeRun translates that to context.Canceled.
+func runSpec(ctx context.Context, spec JobSpec, obs *jobObserver) ([]byte, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Observer = obs
+
+	switch spec.Kind {
+	case KindExperiment:
+		exp, err := experiments.ByID(spec.Experiment)
+		if err != nil {
+			return nil, err
+		}
+		suite := experiments.NewSuite(spec.Seed, &cfg)
+		suite.Fio.FileSize = units.Bytes(spec.FioGiB) * units.GiB
+		r := exp.Run(suite)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return []byte(r.Block()), nil
+
+	case KindPipeline:
+		p, err := core.PipelineByFlag(spec.Pipeline)
+		if err != nil {
+			return nil, err
+		}
+		platform, err := core.PlatformByFlag(spec.Device)
+		if err != nil {
+			return nil, err
+		}
+		cs := core.CaseStudies()[spec.Case-1]
+		var result *core.RunResult
+		if p.Clustered() {
+			result = core.RunOnCluster(core.NewCluster(platform, netio.TenGigE(), spec.Seed), p, cs, cfg)
+		} else {
+			result = core.Run(node.New(platform, spec.Seed), p, cs, cfg)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := result.EncodeJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", spec.Kind)
+}

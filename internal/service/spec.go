@@ -1,0 +1,194 @@
+// Package service is greenviz as a long-running system: a job manager
+// with a bounded worker pool and a backpressured submit queue, a
+// content-addressed result cache with singleflight dedup (N identical
+// concurrent submits cost one underlying run), and an HTTP API on the
+// standard library — job submission, status, deterministic report
+// bytes, live per-stage progress over SSE, registry listings, plain
+// text metrics, and pprof. cmd/greenvizd wraps it in a daemon with
+// graceful drain.
+//
+// The serving model follows the live, steerable endpoints that make
+// in-situ pipelines useful at scale (ISAAC, arXiv:1611.09048;
+// Kageyama & Yamada's interactive exascale viewing): results and
+// progress are exposed while jobs run, not dumped in batch at exit.
+//
+// Determinism is the load-bearing property end to end: a job spec
+// normalizes to a canonical form, the canonical form digests to the
+// cache key, and equal keys serve byte-identical report bodies — an
+// experiment job's report is the exact stdout block the CLI prints
+// (golden-digest gated), a pipeline job's report the CLI's -format
+// json encoding.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+// JobSpec is the JSON body of POST /v1/jobs: either an experiment job
+// (regenerate one registered artifact) or a pipeline job (run one
+// pipeline configuration). Zero fields take the CLI's defaults, so
+// {"experiment":"fig4"} reproduces `greenviz -experiment fig4`
+// exactly — including its golden digest.
+type JobSpec struct {
+	// Kind is "experiment" or "pipeline"; empty infers it from which
+	// of Experiment/Pipeline is set.
+	Kind string `json:"kind,omitempty"`
+
+	// Experiment is a registry ID ("fig4", "table3", ...); see
+	// GET /v1/experiments.
+	Experiment string `json:"experiment,omitempty"`
+
+	// Pipeline is a pipeline flag name ("post", "insitu", "intransit",
+	// "hybrid"); see GET /v1/pipelines.
+	Pipeline string `json:"pipeline,omitempty"`
+	// App selects the proxy application ("heat", "ocean").
+	App string `json:"app,omitempty"`
+	// Device selects the storage stack ("hdd", "ssd", "raid4", "nvram").
+	Device string `json:"device,omitempty"`
+	// Case is the case-study number (1..3).
+	Case int `json:"case,omitempty"`
+
+	// Seed is the master seed (default 1, like the CLI).
+	Seed uint64 `json:"seed,omitempty"`
+	// RealSubsteps bounds host fidelity (default 16, like the CLI).
+	RealSubsteps int `json:"real_substeps,omitempty"`
+	// FioGiB sizes the Table III fio files (default 4).
+	FioGiB int `json:"fio_gib,omitempty"`
+	// Faults is the CLI's -faults spec string (empty: injection off).
+	Faults string `json:"faults,omitempty"`
+}
+
+// Job kinds.
+const (
+	KindExperiment = "experiment"
+	KindPipeline   = "pipeline"
+)
+
+// Normalized returns the spec with defaults applied and every field
+// validated, or an error describing the first problem. Two specs that
+// normalize equal are the same job: Digest hashes the normalized form.
+func (s JobSpec) Normalized() (JobSpec, error) {
+	n := s
+	if n.Kind == "" {
+		switch {
+		case n.Experiment != "" && n.Pipeline == "":
+			n.Kind = KindExperiment
+		case n.Pipeline != "" && n.Experiment == "":
+			n.Kind = KindPipeline
+		default:
+			return n, fmt.Errorf("spec needs exactly one of experiment or pipeline")
+		}
+	}
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	if n.RealSubsteps == 0 {
+		n.RealSubsteps = 16
+	}
+	if n.RealSubsteps < 0 || n.RealSubsteps > core.DefaultAppConfig().SubstepsPerIteration {
+		return n, fmt.Errorf("real_substeps %d out of range", n.RealSubsteps)
+	}
+	if n.FioGiB == 0 {
+		n.FioGiB = 4
+	}
+	if n.FioGiB < 0 || n.FioGiB > 1024 {
+		return n, fmt.Errorf("fio_gib %d out of range", n.FioGiB)
+	}
+	if _, err := fault.ParseSpec(n.Faults); err != nil {
+		return n, fmt.Errorf("faults: %w", err)
+	}
+
+	switch n.Kind {
+	case KindExperiment:
+		if n.Pipeline != "" || n.App != "" || n.Device != "" || n.Case != 0 {
+			return n, fmt.Errorf("experiment jobs take no pipeline fields")
+		}
+		if n.Experiment == "all" {
+			return n, fmt.Errorf("submit experiments individually (see GET /v1/experiments)")
+		}
+		if _, err := experiments.ByID(n.Experiment); err != nil {
+			return n, err
+		}
+	case KindPipeline:
+		if n.Experiment != "" {
+			return n, fmt.Errorf("pipeline jobs take no experiment field")
+		}
+		if _, err := core.PipelineByFlag(n.Pipeline); err != nil {
+			return n, err
+		}
+		if n.App == "" {
+			n.App = "heat"
+		}
+		if n.Device == "" {
+			n.Device = "hdd"
+		}
+		if n.Case == 0 {
+			n.Case = 1
+		}
+		if n.Case < 1 || n.Case > len(core.CaseStudies()) {
+			return n, fmt.Errorf("case %d out of range 1..%d", n.Case, len(core.CaseStudies()))
+		}
+		cfg := core.DefaultAppConfig()
+		if err := core.ConfigureApp(&cfg, n.App); err != nil {
+			return n, err
+		}
+		if _, err := core.PlatformByFlag(n.Device); err != nil {
+			return n, err
+		}
+	default:
+		return n, fmt.Errorf("unknown kind %q", n.Kind)
+	}
+	return n, nil
+}
+
+// Config derives the run configuration a normalized spec describes —
+// the same derivation the CLI performs from its flags.
+func (s JobSpec) Config() (core.AppConfig, error) {
+	cfg := core.DefaultAppConfig()
+	if s.RealSubsteps > 0 {
+		cfg.RealSubsteps = s.RealSubsteps
+	}
+	if err := core.ConfigureApp(&cfg, s.App); err != nil {
+		return cfg, err
+	}
+	fc, err := fault.ParseSpec(s.Faults)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Faults = fc
+	return cfg, nil
+}
+
+// Digest returns the job's content address: a hex SHA-256 over the
+// normalized spec's canonical form plus the canonical digest of the
+// config it derives. Identical digests mean identical report bytes, so
+// the manager serves N equal submits from one execution.
+func (s JobSpec) Digest() (string, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return "", err
+	}
+	cfg, err := n.Config()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "v1 kind:%s exp:%s pipe:%s app:%s dev:%s case:%d seed:%d real:%d fio:%d faults:%q\n",
+		n.Kind, n.Experiment, n.Pipeline, n.App, n.Device, n.Case, n.Seed, n.RealSubsteps, n.FioGiB, n.Faults)
+	fmt.Fprintf(h, "cfg:%s\n", cfg.CanonicalDigest())
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Describe returns a short human label for logs and listings.
+func (s JobSpec) Describe() string {
+	if s.Kind == KindPipeline {
+		return fmt.Sprintf("pipeline %s app=%s device=%s case=%d seed=%d", s.Pipeline, s.App, s.Device, s.Case, s.Seed)
+	}
+	return fmt.Sprintf("experiment %s seed=%d", s.Experiment, s.Seed)
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizedDefaults(t *testing.T) {
+	n, err := JobSpec{Experiment: "fig4"}.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	if n.Kind != KindExperiment {
+		t.Errorf("kind = %q, want experiment", n.Kind)
+	}
+	if n.Seed != 1 || n.RealSubsteps != 16 || n.FioGiB != 4 {
+		t.Errorf("defaults = seed %d substeps %d fio %d, want 1/16/4", n.Seed, n.RealSubsteps, n.FioGiB)
+	}
+
+	p, err := JobSpec{Pipeline: "insitu"}.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	if p.Kind != KindPipeline || p.App != "heat" || p.Device != "hdd" || p.Case != 1 {
+		t.Errorf("pipeline defaults = %+v", p)
+	}
+}
+
+func TestNormalizedRejects(t *testing.T) {
+	bad := []JobSpec{
+		{},                                       // neither kind
+		{Experiment: "fig4", Pipeline: "insitu"}, // both
+		{Experiment: "nope"},                     // unknown id
+		{Experiment: "all"},                      // not submittable
+		{Pipeline: "warp"},                       // unknown pipeline
+		{Pipeline: "insitu", Case: 99},           // case out of range
+		{Pipeline: "insitu", App: "doom"},        // unknown app
+		{Pipeline: "insitu", Device: "floppy"},   // unknown device
+		{Experiment: "fig4", Device: "ssd"},      // cross-kind field
+		{Experiment: "fig4", RealSubsteps: -1},   // bad substeps
+		{Experiment: "fig4", Faults: "bogus"},    // bad fault spec
+		{Kind: "party", Experiment: "fig4"},      // unknown kind
+		{Kind: KindPipeline, Experiment: "fig4"}, // kind/field mismatch
+		{Experiment: "table3", FioGiB: -2},       // bad fio size
+	}
+	for _, s := range bad {
+		if _, err := s.Normalized(); err == nil {
+			t.Errorf("Normalized(%+v) accepted, want error", s)
+		}
+	}
+}
+
+// TestDigestCanonical pins the content-address contract: explicit
+// defaults and elided defaults are the same job.
+func TestDigestCanonical(t *testing.T) {
+	zero, err := JobSpec{Experiment: "fig4"}.Digest()
+	if err != nil {
+		t.Fatalf("Digest: %v", err)
+	}
+	full, err := JobSpec{
+		Kind: KindExperiment, Experiment: "fig4",
+		Seed: 1, RealSubsteps: 16, FioGiB: 4,
+	}.Digest()
+	if err != nil {
+		t.Fatalf("Digest: %v", err)
+	}
+	if zero != full {
+		t.Errorf("elided defaults digest %s != explicit defaults digest %s", zero, full)
+	}
+	if len(zero) != 64 || strings.Trim(zero, "0123456789abcdef") != "" {
+		t.Errorf("digest %q is not hex sha256", zero)
+	}
+}
+
+// TestDigestSensitivity: every spec knob that changes the run must
+// change the address.
+func TestDigestSensitivity(t *testing.T) {
+	base := JobSpec{Pipeline: "insitu", Case: 3}
+	baseDigest, err := base.Digest()
+	if err != nil {
+		t.Fatalf("Digest: %v", err)
+	}
+	variants := map[string]JobSpec{
+		"pipeline": {Pipeline: "post", Case: 3},
+		"case":     {Pipeline: "insitu", Case: 2},
+		"app":      {Pipeline: "insitu", Case: 3, App: "ocean"},
+		"device":   {Pipeline: "insitu", Case: 3, Device: "ssd"},
+		"seed":     {Pipeline: "insitu", Case: 3, Seed: 7},
+		"substeps": {Pipeline: "insitu", Case: 3, RealSubsteps: 2},
+		"faults":   {Pipeline: "insitu", Case: 3, Faults: "bitrot=1e-9"},
+		"kind":     {Experiment: "fig4"},
+	}
+	for name, v := range variants {
+		d, err := v.Digest()
+		if err != nil {
+			t.Fatalf("%s: Digest: %v", name, err)
+		}
+		if d == baseDigest {
+			t.Errorf("changing %s did not change the digest", name)
+		}
+	}
+}

@@ -4,22 +4,25 @@
 # Usage: scripts/bench.sh [output.json]
 #
 # Runs the hot-path micro-benchmarks (render, checkpoint encode, fault
-# hooks) and the serial-vs-parallel full-suite pair with -benchmem,
-# then converts the `go test` output into BENCH_pr2.json: one object
-# per benchmark with ns/op, B/op, and allocs/op. The fault-hook pair
-# documents that injection costs 0 allocs/op and single-digit ns when
-# disabled. Host details (cores, GOMAXPROCS) are recorded so
-# single-core runs are not mistaken for regressions.
+# hooks, nil-observer stage dispatch), the serial-vs-parallel
+# full-suite pair, and the greenvizd service-layer benchmarks (full
+# HTTP round trip against a warm cache, manager-only dedup submit,
+# spec digesting) with -benchmem, then converts the `go test` output
+# into BENCH_pr4.json: one object per benchmark with ns/op, B/op, and
+# allocs/op. The fault-hook and nil-observer pairs document that both
+# hooks cost 0 allocs/op when unused. Host details (cores, GOMAXPROCS)
+# are recorded so single-core runs are not mistaken for regressions.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr4.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' \
-    -bench '^(BenchmarkRender|BenchmarkCheckpointEncode|BenchmarkSuiteAllSerial|BenchmarkSuiteAllParallel|BenchmarkHooksDisabled|BenchmarkHooksEnabled)$' \
-    -benchmem -benchtime "${BENCHTIME:-1x}" -count "${COUNT:-1}" . ./internal/fault | tee "$raw"
+    -bench '^(BenchmarkRender|BenchmarkCheckpointEncode|BenchmarkSuiteAllSerial|BenchmarkSuiteAllParallel|BenchmarkHooksDisabled|BenchmarkHooksEnabled|BenchmarkDoNilObserver|BenchmarkServiceThroughput|BenchmarkSubmitDedup|BenchmarkSpecDigest)$' \
+    -benchmem -benchtime "${BENCHTIME:-1x}" -count "${COUNT:-1}" \
+    . ./internal/fault ./internal/core/stagegraph ./internal/service | tee "$raw"
 
 awk -v ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
 BEGIN { n = 0 }
