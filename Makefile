@@ -36,9 +36,19 @@ golden:
 golden-update:
 	$(GO) test -run '^TestGolden' -timeout 30m -update ./internal/experiments
 
-# bench records the benchmark set into BENCH_pr4.json.
+# bench records the benchmark set into BENCH_pr6.json.
 bench:
 	scripts/bench.sh
 
+# bench-check reruns the benchmark set into a scratch file and fails
+# if any benchmark shared with the newest committed BENCH_*.json
+# regressed by more than 10% ns/op (THRESHOLD env overrides).
+.PHONY: bench-check
+bench-check:
+	scripts/bench.sh BENCH_check.json
+	scripts/bench_compare.sh BENCH_check.json
+	rm -f BENCH_check.json
+
 clean:
-	rm -f greenviz greenvizd BENCH_pr1.json BENCH_pr2.json BENCH_pr4.json
+	rm -f greenviz greenvizd BENCH_check.json \
+		BENCH_pr1.json BENCH_pr2.json BENCH_pr4.json BENCH_pr6.json

@@ -44,6 +44,7 @@ func main() {
 		realSubsteps = flag.Int("real-substeps", 16, "solver sub-steps computed per iteration (<= 1536); higher is more faithful, slower")
 		fioGiB       = flag.Int("fio-gib", 4, "fio test file size in GiB (Table III uses 4)")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment drivers for -experiment all")
+		kernWorkers  = flag.Int("kernel-workers", 0, "intra-step data parallelism of the solver/render/encode kernels (0 = GOMAXPROCS); output is byte-identical at any value")
 		csvDir       = flag.String("csv", "", "directory to dump case-study power profiles as CSV")
 		faults       = flag.String("faults", "", "inject storage faults: comma-separated bitrot=,readerr=,writeerr=,latency=,drop= (probabilities), spike=,timeout= (seconds), seed= — empty disables injection (byte-identical output)")
 
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	if *pipeline != "" {
-		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *framesDir, *format, faultCfg); err != nil {
+		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *kernWorkers, *framesDir, *format, faultCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
 			os.Exit(1)
 		}
@@ -101,8 +102,10 @@ func main() {
 	}
 	// A -faults spec applies to every pipeline run the experiments
 	// perform; left empty, all report bodies are byte-identical to a
-	// fault-free build.
+	// fault-free build. Kernel workers likewise: the knob changes how
+	// many bands each hot kernel splits into, never the output bytes.
 	cfg.Faults = faultCfg
+	cfg.KernelWorkers = *kernWorkers
 	suite := greenviz.NewSuite(*seed, &cfg)
 	suite.Fio.FileSize = units.Bytes(*fioGiB) * units.GiB
 	// The suite itself is quiet by default (library and daemon embeds

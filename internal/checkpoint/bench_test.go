@@ -1,0 +1,26 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"repro/internal/heat"
+)
+
+// BenchmarkCheckpointEncode is the kernel-scaling benchmark for the
+// chunked parallel encode (run by scripts/bench.sh at -cpu 1,2,4):
+// header + 256×256 field (512 KiB) through a reused Encoder with
+// Workers = GOMAXPROCS. Steady state is 0 allocs/op at any -cpu.
+func BenchmarkCheckpointEncode(b *testing.B) {
+	g := heat.NewGrid(256, 256)
+	for i := range g.Data {
+		g.Data[i] = float64(i%97) * 0.25
+	}
+	var e Encoder
+	buf := e.EncodeTo(nil, g, 0, 0, 4096) // grow scratch and dst once
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = e.EncodeTo(buf[:0], g, uint64(i), float64(i), 4096)
+	}
+}

@@ -1,0 +1,108 @@
+package checkpoint
+
+// CRC-32 combination: given crc(A), crc(B), and len(B), compute
+// crc(A||B) without touching the bytes again. This is what lets the
+// encoder checksum grid chunks in parallel and still write the exact
+// CRC a serial left-to-right pass produces.
+//
+// The algorithm is zlib's crc32_combine: appending len2 zero bytes to A
+// multiplies crc(A) by x^(8·len2) in GF(2)[x]/P(x), and that linear map
+// is applied as ~log2(len2) squarings of a 32×32 bit matrix.
+
+// ieeePoly is the reversed (bit-reflected) CRC-32/IEEE polynomial,
+// matching hash/crc32's table ordering.
+const ieeePoly = 0xedb88320
+
+// gf2MatrixTimes multiplies the 32×32 GF(2) matrix mat by the bit
+// vector vec.
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; i++ {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		vec >>= 1
+	}
+	return sum
+}
+
+// gf2MatrixSquare sets square = mat·mat.
+func gf2MatrixSquare(square, mat *[32]uint32) {
+	for n := 0; n < 32; n++ {
+		square[n] = gf2MatrixTimes(mat, mat[n])
+	}
+}
+
+// crc32Op is the precomputed linear operator that advances a CRC past
+// len2 bytes: op.apply(crc(A)) ^ crc(B) = crc(A||B) when len(B) = len2.
+// Building the operator costs ~log2(len2) matrix squarings — the
+// expensive part of a combine — so callers merging many same-length
+// chunks build it once and apply it per chunk (one 32×32 bit-matrix
+// multiply, ~100 ns).
+type crc32Op struct {
+	mat  [32]uint32
+	len2 int64
+}
+
+// init computes the operator for appending len2 zero bytes.
+func (op *crc32Op) init(len2 int64) {
+	op.len2 = len2
+	if len2 <= 0 {
+		// Identity: appending nothing leaves the CRC unchanged.
+		for n := 0; n < 32; n++ {
+			op.mat[n] = 1 << n
+		}
+		return
+	}
+	// odd  = the operator for one zero bit; even = scratch. Both live on
+	// the stack, so building the operator allocates nothing.
+	var even, odd [32]uint32
+	odd[0] = ieeePoly
+	row := uint32(1)
+	for n := 1; n < 32; n++ {
+		odd[n] = row
+		row <<= 1
+	}
+	// Square to the one-zero-byte operator (8 bits = 2³ squarings).
+	gf2MatrixSquare(&even, &odd)
+	gf2MatrixSquare(&odd, &even)
+	// Build x^(8·len2) by binary decomposition of len2, squaring as we
+	// walk the bits and folding the factor in for each set bit.
+	acc := &op.mat
+	first := true
+	cur, next := &even, &odd
+	for {
+		gf2MatrixSquare(cur, next)
+		if len2&1 != 0 {
+			if first {
+				*acc = *cur
+				first = false
+			} else {
+				for n := 0; n < 32; n++ {
+					acc[n] = gf2MatrixTimes(cur, acc[n])
+				}
+			}
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		cur, next = next, cur
+	}
+}
+
+// apply advances crc across the operator's len2 zero bytes.
+func (op *crc32Op) apply(crc uint32) uint32 {
+	return gf2MatrixTimes(&op.mat, crc)
+}
+
+// crc32Combine returns the CRC-32/IEEE of the concatenation A||B given
+// crc1 = CRC(A), crc2 = CRC(B), and len2 = len(B) in bytes.
+func crc32Combine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	var op crc32Op
+	op.init(len2)
+	return op.apply(crc1) ^ crc2
+}

@@ -33,6 +33,11 @@ func (cfg AppConfig) CanonicalDigest() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// WriteCanonical writes the canonical form CanonicalDigest hashes to w.
+// Callers composing larger cache keys (the service's job digest) append
+// it to their own buffer instead of paying for a nested hex digest.
+func (cfg AppConfig) WriteCanonical(w io.Writer) { writeCanonical(w, cfg) }
+
 // writeCanonical writes the canonical one-field-per-line form. It is
 // separate from CanonicalDigest so tests can inspect the exact bytes
 // being fingerprinted.
@@ -40,8 +45,13 @@ func writeCanonical(w io.Writer, cfg AppConfig) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
 	p("v1\n")
 	// heat.Params is a flat value struct (Sources are values too), so
-	// %+v is deterministic.
-	p("heat:%+v\n", cfg.Heat)
+	// %+v is deterministic. Workers (like KernelWorkers, and
+	// Render.Workers below) only partitions the kernels' work — output
+	// bytes are identical at any setting — so it is zeroed out of the
+	// content address.
+	hp := cfg.Heat
+	hp.Workers = 0
+	p("heat:%+v\n", hp)
 	p("substeps:%d real:%d\n", cfg.SubstepsPerIteration, cfg.RealSubsteps)
 	p("payload ckpt:%d insitu:%d\n", cfg.CheckpointPayload, cfg.InsituPayload)
 	// Render holds a *Colormap; hash the remaining fields explicitly so

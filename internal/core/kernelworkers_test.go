@@ -1,0 +1,38 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunKernelWorkersInvariant is the race-compatible half of the
+// determinism gate (the full-registry golden pass skips under -race):
+// complete pipeline runs — frames, checkpoints, timings, the whole
+// canonical JSON encoding — must be byte-identical at kernel workers
+// 1, 2, and 8, for the heat default and the ocean proxy alike.
+func TestRunKernelWorkersInvariant(t *testing.T) {
+	cs := CaseStudy{Name: "kw", Iterations: 6, IOInterval: 2}
+	for _, app := range []string{"heat", "ocean"} {
+		for _, p := range []Pipeline{PostProcessing, InSitu} {
+			encode := func(workers int) []byte {
+				cfg := testConfig()
+				cfg.KernelWorkers = workers
+				if err := ConfigureApp(&cfg, app); err != nil {
+					t.Fatalf("ConfigureApp(%s): %v", app, err)
+				}
+				r := Run(testNode(1), p, cs, cfg)
+				var buf bytes.Buffer
+				if err := r.EncodeJSON(&buf); err != nil {
+					t.Fatalf("EncodeJSON: %v", err)
+				}
+				return buf.Bytes()
+			}
+			ref := encode(1)
+			for _, workers := range []int{2, 8} {
+				if got := encode(workers); !bytes.Equal(got, ref) {
+					t.Errorf("%s/%s: run output differs between kernel workers 1 and %d", app, p, workers)
+				}
+			}
+		}
+	}
+}

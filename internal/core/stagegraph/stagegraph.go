@@ -293,8 +293,12 @@ type Exec struct {
 func (x *Exec) Do(st Stage, body func()) {
 	e := x.eng
 	if e.spec != nil && !e.spec.declares(st) {
+		// The branch-local copy keeps st itself from escaping: handing st
+		// straight to fmt (or the observer below) makes every Do call
+		// heap-copy the Stage even when the cold branch never runs.
+		bad := st
 		panic(fmt.Sprintf("stagegraph: spec %q executed undeclared stage %s/%s (%s)",
-			e.spec.Name, st.Kind, st.Phase, st.Binding))
+			e.spec.Name, bad.Kind, bad.Phase, bad.Binding))
 	}
 	if st.Phase == "" {
 		body()
@@ -308,7 +312,8 @@ func (x *Exec) Do(st Stage, body func()) {
 	}
 	e.Ledger.StageTime[st.Phase] += end - start
 	if e.Observer != nil {
-		e.Observer.StageDone(st, start, end)
+		observed := st
+		e.Observer.StageDone(observed, start, end)
 	}
 }
 

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGoldenKernelWorkers is the acceptance gate of the par engine:
+// every registered experiment's stdout block must match the committed
+// golden digest with the kernels forced serial (KernelWorkers=1) and
+// forced wide (KernelWorkers=8). The digests were recorded by
+// TestGoldenOutputs at the default setting, so a pass here proves the
+// intra-step decomposition never changes an output byte at any worker
+// count.
+func TestGoldenKernelWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry twice at CLI fidelity")
+	}
+	if raceEnabled {
+		t.Skip("full registry passes are infeasible under race instrumentation")
+	}
+
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := core.DefaultAppConfig()
+			cfg.RealSubsteps = 16
+			cfg.KernelWorkers = workers
+			suite := NewSuite(1, &cfg)
+			reports, err := suite.RunAll(context.Background(), runtime.GOMAXPROCS(0))
+			if err != nil {
+				t.Fatalf("RunAll: %v", err)
+			}
+			for _, r := range reports {
+				want, err := os.ReadFile(goldenPath(r.ID))
+				if err != nil {
+					t.Errorf("experiment %q has no golden digest: %v", r.ID, err)
+					continue
+				}
+				wantSum, _, _ := strings.Cut(strings.TrimSpace(string(want)), "  ")
+				got := fmt.Sprintf("%x", sha256.Sum256([]byte(goldenBlock(r.Report))))
+				if got != wantSum {
+					t.Errorf("experiment %q: stdout at kernel workers=%d diverged from golden digest\n  got  %s\n  want %s",
+						r.ID, workers, got, wantSum)
+				}
+			}
+		})
+	}
+}

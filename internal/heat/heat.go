@@ -9,8 +9,8 @@ package heat
 import (
 	"fmt"
 
-	"repro/internal/bandpool"
 	"repro/internal/field"
+	"repro/internal/par"
 )
 
 // Grid is the shared 2-D scalar field type (see package field).
@@ -66,8 +66,8 @@ type Params struct {
 	BoundaryTemp float64
 	// InitialTemp fills the interior at start.
 	InitialTemp float64
-	// Workers sizes the solver's persistent band pool; 0 means
-	// GOMAXPROCS.
+	// Workers caps how many par workers a step may use; 0 means
+	// GOMAXPROCS. The output field is byte-identical at any setting.
 	Workers int
 	Sources []Source
 }
@@ -92,14 +92,23 @@ func StabilityLimit(alpha, dx, dy float64) float64 {
 	return (dx * dx * dy * dy) / (2 * alpha * (dx*dx + dy*dy))
 }
 
-// Solver advances the heat equation. Each solver owns a persistent
-// band-worker pool (see internal/bandpool), so stepping never spawns
-// goroutines; distinct solvers may step concurrently.
+// sweepGrain is the minimum rows per band: small enough that a 128-row
+// grid still splits across several workers, large enough that a band is
+// real work relative to the engine's scheduling cost.
+const sweepGrain = 8
+
+// Solver advances the heat equation. Interior sweeps run as row bands
+// on the shared par engine, so stepping never spawns goroutines and
+// distinct solvers may step concurrently.
 type Solver struct {
 	params    Params
 	cur, next *Grid
 	steps     uint64
-	pool      *bandpool.Pool
+	rx, ry    float64
+	// sweep is the cached stencil kernel handed to par each step; it
+	// reads cur/next through the receiver so the per-step buffer swap
+	// needs no fresh closure (stepping stays allocation-free).
+	sweep func(lo, hi int)
 }
 
 // NewSolver builds a solver, validating parameters and applying the
@@ -126,7 +135,26 @@ func NewSolver(p Params) *Solver {
 			panic(fmt.Sprintf("heat: pulsed source duty %v outside (0,1]", s.Duty))
 		}
 	}
-	s := &Solver{params: p, cur: NewGrid(p.NX, p.NY), next: NewGrid(p.NX, p.NY), pool: bandpool.New(p.Workers)}
+	s := &Solver{params: p, cur: NewGrid(p.NX, p.NY), next: NewGrid(p.NX, p.NY)}
+	s.rx = p.Alpha * p.DT / (p.DX * p.DX)
+	s.ry = p.Alpha * p.DT / (p.DY * p.DY)
+	s.sweep = func(lo, hi int) {
+		cur, next := s.cur, s.next
+		nx := s.params.NX
+		rx, ry := s.rx, s.ry
+		// Bands cover interior rows: band index i is grid row i+1.
+		for y := lo + 1; y < hi+1; y++ {
+			c := cur.Data[y*nx : (y+1)*nx]
+			up := cur.Data[(y-1)*nx : y*nx]
+			down := cur.Data[(y+1)*nx : (y+2)*nx]
+			out := next.Data[y*nx : (y+1)*nx]
+			for x := 1; x < nx-1; x++ {
+				out[x] = c[x] +
+					rx*(c[x-1]-2*c[x]+c[x+1]) +
+					ry*(up[x]-2*c[x]+down[x])
+			}
+		}
+	}
 	s.cur.Fill(p.InitialTemp)
 	s.applyBoundary(s.cur)
 	s.applySources(s.cur)
@@ -199,27 +227,8 @@ func (s *Solver) Step(n int) {
 }
 
 func (s *Solver) stepOnce() {
-	p := s.params
-	rx := p.Alpha * p.DT / (p.DX * p.DX)
-	ry := p.Alpha * p.DT / (p.DY * p.DY)
-	cur, next := s.cur, s.next
-	nx, ny := p.NX, p.NY
-
-	s.pool.Run(1, ny-1, func(y0, y1 int) {
-		for y := y0; y < y1; y++ {
-			c := cur.Data[y*nx : (y+1)*nx]
-			up := cur.Data[(y-1)*nx : y*nx]
-			down := cur.Data[(y+1)*nx : (y+2)*nx]
-			out := next.Data[y*nx : (y+1)*nx]
-			for x := 1; x < nx-1; x++ {
-				out[x] = c[x] +
-					rx*(c[x-1]-2*c[x]+c[x+1]) +
-					ry*(up[x]-2*c[x]+down[x])
-			}
-		}
-	})
-
-	s.cur, s.next = next, cur
+	par.ForLimit(s.params.Workers, s.params.NY-2, sweepGrain, s.sweep)
+	s.cur, s.next = s.next, s.cur
 	s.applyBoundary(s.cur)
 	s.applySources(s.cur)
 	s.steps++

@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/bandpool"
 	"repro/internal/field"
+	"repro/internal/par"
 )
 
 // Params configures the solver.
@@ -30,8 +30,8 @@ type Params struct {
 	Coriolis float64
 	// Drops are initial Gaussian height perturbations.
 	Drops []Drop
-	// Workers sizes the solver's persistent band pool; 0 means
-	// GOMAXPROCS.
+	// Workers caps how many par workers a step may use; 0 means
+	// GOMAXPROCS. The output fields are byte-identical at any setting.
 	Workers int
 }
 
@@ -64,15 +64,24 @@ func CFLLimit(p Params) float64 {
 	return h / (c * math.Sqrt2)
 }
 
+// sweepGrain is the minimum interior rows per band, matching the heat
+// solver's decomposition granularity.
+const sweepGrain = 8
+
 // Solver advances the shallow-water equations. Like the heat solver it
-// owns a persistent band-worker pool, so stepping never spawns
-// goroutines; distinct solvers may step concurrently.
+// runs its interior sweeps as row bands on the shared par engine, so
+// stepping never spawns goroutines; distinct solvers may step
+// concurrently.
 type Solver struct {
 	params     Params
 	h, u, v    *field.Grid // height anomaly and velocities
 	nh, nu, nv *field.Grid
 	steps      uint64
-	pool       *bandpool.Pool
+	// The two cached pass kernels read the buffers through the receiver,
+	// so the per-step swaps need no fresh closures (stepping stays
+	// allocation-free).
+	momentumPass   func(lo, hi int)
+	continuityPass func(lo, hi int)
 }
 
 // NewSolver validates parameters and applies the initial condition.
@@ -94,7 +103,40 @@ func NewSolver(p Params) *Solver {
 		params: p,
 		h:      field.New(p.NX, p.NY), u: field.New(p.NX, p.NY), v: field.New(p.NX, p.NY),
 		nh: field.New(p.NX, p.NY), nu: field.New(p.NX, p.NY), nv: field.New(p.NX, p.NY),
-		pool: bandpool.New(p.Workers),
+	}
+	nx := p.NX
+	gdtx := p.Gravity * p.DT / p.DX
+	gdty := p.Gravity * p.DT / p.DY
+	hdtx := p.Depth * p.DT / p.DX
+	hdty := p.Depth * p.DT / p.DY
+	f := p.Coriolis * p.DT
+	// Bands cover interior rows: band index i is grid row i+1.
+	s.momentumPass = func(lo, hi int) {
+		h, u, v := s.h, s.u, s.v
+		nu, nv := s.nu, s.nv
+		for y := lo + 1; y < hi+1; y++ {
+			row := y * nx
+			up, down := row-nx, row+nx
+			for x := 1; x < nx-1; x++ {
+				i := row + x
+				nu.Data[i] = u.Data[i] - gdtx*(h.Data[i+1]-h.Data[i-1])/2 + f*v.Data[i]
+				nv.Data[i] = v.Data[i] - gdty*(h.Data[down+x]-h.Data[up+x])/2 - f*u.Data[i]
+			}
+		}
+	}
+	s.continuityPass = func(lo, hi int) {
+		h, u, v := s.h, s.u, s.v
+		nh := s.nh
+		for y := lo + 1; y < hi+1; y++ {
+			row := y * nx
+			up, down := row-nx, row+nx
+			for x := 1; x < nx-1; x++ {
+				i := row + x
+				nh.Data[i] = h.Data[i] -
+					hdtx*(u.Data[i+1]-u.Data[i-1])/2 -
+					hdty*(v.Data[down+x]-v.Data[up+x])/2
+			}
+		}
 	}
 	for _, d := range p.Drops {
 		s.applyDrop(d)
@@ -173,54 +215,22 @@ func (s *Solver) Step(n int) {
 }
 
 func (s *Solver) stepOnce() {
-	p := s.params
-	nx, ny := p.NX, p.NY
-	gdtx := p.Gravity * p.DT / p.DX
-	gdty := p.Gravity * p.DT / p.DY
-	hdtx := p.Depth * p.DT / p.DX
-	hdty := p.Depth * p.DT / p.DY
-	f := p.Coriolis * p.DT
-
-	h, u, v := s.h, s.u, s.v
-	nh, nu, nv := s.nh, s.nu, s.nv
-
 	// Forward-backward (symplectic Euler) scheme: update momentum from
 	// the old height, then update height from the *new* momentum. The
 	// naive simultaneous update is unconditionally unstable for wave
 	// systems; this variant is stable under the CFL limit.
-	parallelRows := func(fn func(y0, y1 int)) { s.pool.Run(1, ny-1, fn) }
+	interior := s.params.NY - 2
+	workers := s.params.Workers
 
 	// Pass 1: momentum from the height gradient (+ Coriolis).
-	parallelRows(func(y0, y1 int) {
-		for y := y0; y < y1; y++ {
-			row := y * nx
-			up, down := row-nx, row+nx
-			for x := 1; x < nx-1; x++ {
-				i := row + x
-				nu.Data[i] = u.Data[i] - gdtx*(h.Data[i+1]-h.Data[i-1])/2 + f*v.Data[i]
-				nv.Data[i] = v.Data[i] - gdty*(h.Data[down+x]-h.Data[up+x])/2 - f*u.Data[i]
-			}
-		}
-	})
-	s.u, s.nu = nu, u
-	s.v, s.nv = nv, v
+	par.ForLimit(workers, interior, sweepGrain, s.momentumPass)
+	s.u, s.nu = s.nu, s.u
+	s.v, s.nv = s.nv, s.v
 	s.reflectVelocityBoundaries()
-	u, v = s.u, s.v
 
 	// Pass 2: continuity from the divergence of the new momentum.
-	parallelRows(func(y0, y1 int) {
-		for y := y0; y < y1; y++ {
-			row := y * nx
-			up, down := row-nx, row+nx
-			for x := 1; x < nx-1; x++ {
-				i := row + x
-				nh.Data[i] = h.Data[i] -
-					hdtx*(u.Data[i+1]-u.Data[i-1])/2 -
-					hdty*(v.Data[down+x]-v.Data[up+x])/2
-			}
-		}
-	})
-	s.h, s.nh = nh, h
+	par.ForLimit(workers, interior, sweepGrain, s.continuityPass)
+	s.h, s.nh = s.nh, s.h
 	s.reflectHeightBoundaries()
 	s.steps++
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package par
+
+// raceEnabled reports whether the race detector is compiled in; the
+// steady-state allocation test skips under it because race-mode
+// sync.Pool intentionally drops Puts.
+const raceEnabled = true

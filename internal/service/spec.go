@@ -21,9 +21,11 @@
 package service
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -62,6 +64,12 @@ type JobSpec struct {
 	FioGiB int `json:"fio_gib,omitempty"`
 	// Faults is the CLI's -faults spec string (empty: injection off).
 	Faults string `json:"faults,omitempty"`
+	// KernelWorkers caps the intra-step data parallelism of the hot
+	// kernels (0 = GOMAXPROCS), like the CLI's -kernel-workers. Output
+	// bytes are identical at any setting, so it is excluded from the
+	// job's content address: submits differing only here share one
+	// cached result.
+	KernelWorkers int `json:"kernel_workers,omitempty"`
 }
 
 // Job kinds.
@@ -102,6 +110,9 @@ func (s JobSpec) Normalized() (JobSpec, error) {
 	}
 	if _, err := fault.ParseSpec(n.Faults); err != nil {
 		return n, fmt.Errorf("faults: %w", err)
+	}
+	if n.KernelWorkers < 0 || n.KernelWorkers > 1024 {
+		return n, fmt.Errorf("kernel_workers %d out of range 0..1024", n.KernelWorkers)
 	}
 
 	switch n.Kind {
@@ -154,6 +165,9 @@ func (s JobSpec) Config() (core.AppConfig, error) {
 	if s.RealSubsteps > 0 {
 		cfg.RealSubsteps = s.RealSubsteps
 	}
+	// KernelWorkers must land before ConfigureApp: the ocean preset
+	// captures it when wiring its solver constructor.
+	cfg.KernelWorkers = s.KernelWorkers
 	if err := core.ConfigureApp(&cfg, s.App); err != nil {
 		return cfg, err
 	}
@@ -165,10 +179,16 @@ func (s JobSpec) Config() (core.AppConfig, error) {
 	return cfg, nil
 }
 
+// digestBufPool recycles the canonical-form buffer across Digest
+// calls: every submit, cache probe, and dedup check digests a spec, so
+// the normalization scratch should not be rebuilt per call.
+var digestBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Digest returns the job's content address: a hex SHA-256 over the
-// normalized spec's canonical form plus the canonical digest of the
+// normalized spec's canonical form plus the canonical form of the
 // config it derives. Identical digests mean identical report bytes, so
-// the manager serves N equal submits from one execution.
+// the manager serves N equal submits from one execution. KernelWorkers
+// is deliberately absent — it never changes output bytes.
 func (s JobSpec) Digest() (string, error) {
 	n, err := s.Normalized()
 	if err != nil {
@@ -178,11 +198,15 @@ func (s JobSpec) Digest() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	h := sha256.New()
-	fmt.Fprintf(h, "v1 kind:%s exp:%s pipe:%s app:%s dev:%s case:%d seed:%d real:%d fio:%d faults:%q\n",
+	buf := digestBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	fmt.Fprintf(buf, "v1 kind:%s exp:%s pipe:%s app:%s dev:%s case:%d seed:%d real:%d fio:%d faults:%q\n",
 		n.Kind, n.Experiment, n.Pipeline, n.App, n.Device, n.Case, n.Seed, n.RealSubsteps, n.FioGiB, n.Faults)
-	fmt.Fprintf(h, "cfg:%s\n", cfg.CanonicalDigest())
-	return hex.EncodeToString(h.Sum(nil)), nil
+	buf.WriteString("cfg:")
+	cfg.WriteCanonical(buf)
+	sum := sha256.Sum256(buf.Bytes())
+	digestBufPool.Put(buf)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Describe returns a short human label for logs and listings.

@@ -18,9 +18,18 @@ func MarchingSquares(g *heat.Grid, level float64) ([]Segment, int) {
 // render loops reuse one segment buffer across frames instead of
 // growing a fresh slice per isoline.
 func MarchingSquaresInto(dst []Segment, g *heat.Grid, level float64) ([]Segment, int) {
+	return marchingSquaresRows(dst, g, level, 0, g.NY-1)
+}
+
+// marchingSquaresRows extracts the contour of cell rows [y0, y1) only.
+// Cells are scanned in ascending (y, x) order, so concatenating the
+// results of contiguous ascending row bands reproduces the full-grid
+// segment sequence exactly — the property the parallel renderer's
+// ordered merge relies on.
+func marchingSquaresRows(dst []Segment, g *heat.Grid, level float64, y0, y1 int) ([]Segment, int) {
 	segs := dst
 	cells := 0
-	for y := 0; y < g.NY-1; y++ {
+	for y := y0; y < y1; y++ {
 		for x := 0; x < g.NX-1; x++ {
 			cells++
 			// Corner values: tl, tr, br, bl.

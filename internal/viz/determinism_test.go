@@ -1,0 +1,78 @@
+package viz
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/heat"
+)
+
+// renderTestGrid returns a field with enough structure to produce
+// contour segments in every row band.
+func renderTestGrid(t *testing.T) *heat.Grid {
+	t.Helper()
+	s := heat.NewSolver(heat.DefaultParams())
+	s.Step(50)
+	return s.Field()
+}
+
+// TestRenderWorkerCountInvariant pins the tentpole contract on the
+// renderer: the frame bytes — colormap fill and isoline overlay alike —
+// must be identical at any worker count, because band boundaries only
+// partition the work, never change it.
+func TestRenderWorkerCountInvariant(t *testing.T) {
+	g := renderTestGrid(t)
+	opts := DefaultRenderOptions()
+	opts.Isolines = []float64{25, 100, 500}
+
+	opts.Workers = 1
+	ref, refStats := Render(g, opts)
+	for _, workers := range []int{2, 8} {
+		opts.Workers = workers
+		img, stats := Render(g, opts)
+		if !bytes.Equal(img.Pix, ref.Pix) {
+			t.Errorf("frame bytes differ between workers=1 and workers=%d", workers)
+		}
+		if stats != refStats {
+			t.Errorf("render stats differ: workers=%d %+v, workers=1 %+v", workers, stats, refStats)
+		}
+		ReleaseFrame(img)
+	}
+	ReleaseFrame(ref)
+}
+
+// TestMarchingSquaresRowBandsConcatenate checks the property the
+// parallel contour pass builds on: contiguous ascending row bands,
+// concatenated, equal the serial full-grid segment sequence exactly —
+// same segments, same order.
+func TestMarchingSquaresRowBandsConcatenate(t *testing.T) {
+	g := renderTestGrid(t)
+	const level = 100.0
+	serial, serialCells := MarchingSquares(g, level)
+
+	for _, bands := range []int{2, 3, 7} {
+		var merged []Segment
+		cells := 0
+		per := (g.NY - 1 + bands - 1) / bands
+		for lo := 0; lo < g.NY-1; lo += per {
+			hi := lo + per
+			if hi > g.NY-1 {
+				hi = g.NY - 1
+			}
+			segs, c := marchingSquaresRows(nil, g, level, lo, hi)
+			merged = append(merged, segs...)
+			cells += c
+		}
+		if cells != serialCells {
+			t.Errorf("%d bands visited %d cells, serial visited %d", bands, cells, serialCells)
+		}
+		if len(merged) != len(serial) {
+			t.Fatalf("%d bands produced %d segments, serial %d", bands, len(merged), len(serial))
+		}
+		for i := range merged {
+			if merged[i] != serial[i] {
+				t.Fatalf("%d bands: segment %d = %+v, serial %+v", bands, i, merged[i], serial[i])
+			}
+		}
+	}
+}

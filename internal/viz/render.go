@@ -7,15 +7,17 @@ import (
 	"sync"
 
 	"repro/internal/heat"
+	"repro/internal/par"
 )
 
-// framePool recycles output rasters between frames and segPool the
-// marching-squares scratch: pipelines render hundreds of frames of one
-// geometry, so steady-state rendering should not allocate. sync.Pool
-// keeps the reuse safe when several pipelines render concurrently.
+// framePool recycles output rasters between frames and scratchPool the
+// per-render working state (band scratch plus the cached kernels handed
+// to par): pipelines render hundreds of frames of one geometry, so
+// steady-state rendering should not allocate. sync.Pool keeps the reuse
+// safe when several pipelines render concurrently.
 var (
-	framePool sync.Pool
-	segPool   sync.Pool
+	framePool   sync.Pool
+	scratchPool sync.Pool
 )
 
 // acquireRGBA returns a w×h raster, reusing a pooled one when the
@@ -41,16 +43,80 @@ func ReleaseFrame(img *image.RGBA) {
 	}
 }
 
-// acquireSegs hands out the marching-squares scratch as a pointer so
-// putting it back doesn't re-box the slice header each frame.
-func acquireSegs() *[]Segment {
-	if v := segPool.Get(); v != nil {
-		return v.(*[]Segment)
-	}
-	return new([]Segment)
+// rowGrain is the minimum pixel or cell rows per band for the parallel
+// fill and contour passes.
+const rowGrain = 16
+
+// renderScratch is one render call's working state. The two kernels
+// handed to par are built once per scratch and read everything through
+// the receiver, so a pooled scratch makes steady-state renders
+// closure-allocation-free.
+type renderScratch struct {
+	img     *image.RGBA
+	g       *heat.Grid
+	cm      *Colormap
+	lo, inv float64
+	sx, sy  float64
+	width   int
+	level   float64
+
+	// Per-band marching-squares partials, indexed by band; merged into
+	// segs in ascending band order (== serial row order).
+	bands [][]Segment
+	cells []int
+	segs  []Segment
+
+	fillRows func(lo, hi int)
+	march    func(band, lo, hi int)
 }
 
-func releaseSegs(segs *[]Segment) { segPool.Put(segs) }
+func acquireScratch() *renderScratch {
+	if v := scratchPool.Get(); v != nil {
+		return v.(*renderScratch)
+	}
+	rs := &renderScratch{}
+	rs.fillRows = func(lo, hi int) { rs.fill(lo, hi) }
+	rs.march = func(band, lo, hi int) {
+		segs, cells := marchingSquaresRows(rs.bands[band][:0], rs.g, rs.level, lo, hi)
+		rs.bands[band] = segs
+		rs.cells[band] = cells
+	}
+	return rs
+}
+
+func releaseScratch(rs *renderScratch) {
+	rs.img = nil
+	rs.g = nil
+	scratchPool.Put(rs)
+}
+
+// fill colormaps pixel rows [py0, py1): bilinear field resample, then
+// the colormap lookup. Rows are an exclusive output region of img.
+func (rs *renderScratch) fill(py0, py1 int) {
+	g, img, cm := rs.g, rs.img, rs.cm
+	lo, inv := rs.lo, rs.inv
+	for py := py0; py < py1; py++ {
+		fy := float64(py) * rs.sy
+		y0 := int(fy)
+		if y0 >= g.NY-1 {
+			y0 = g.NY - 2
+		}
+		wy := fy - float64(y0)
+		for px := 0; px < rs.width; px++ {
+			fx := float64(px) * rs.sx
+			x0 := int(fx)
+			if x0 >= g.NX-1 {
+				x0 = g.NX - 2
+			}
+			wx := fx - float64(x0)
+			v := (1-wx)*(1-wy)*g.At(x0, y0) +
+				wx*(1-wy)*g.At(x0+1, y0) +
+				(1-wx)*wy*g.At(x0, y0+1) +
+				wx*wy*g.At(x0+1, y0+1)
+			img.SetRGBA(px, py, cm.Map((v-lo)*inv))
+		}
+	}
+}
 
 // RenderOptions configures a frame render.
 type RenderOptions struct {
@@ -65,6 +131,10 @@ type RenderOptions struct {
 	Isolines []float64
 	// IsolineColor is the overlay color (default white).
 	IsolineColor color.RGBA
+	// Workers caps how many par workers the fill and contour passes may
+	// use; 0 means GOMAXPROCS. Output bytes are identical at any
+	// setting.
+	Workers int
 }
 
 // DefaultRenderOptions returns the pipelines' 512×512 auto-scaled
@@ -103,52 +173,47 @@ func Render(g *heat.Grid, opts RenderOptions) (*image.RGBA, RenderStats) {
 	inv := 1 / (hi - lo)
 
 	img := acquireRGBA(opts.Width, opts.Height)
+	rs := acquireScratch()
+	rs.img, rs.g, rs.cm = img, g, cm
+	rs.lo, rs.inv = lo, inv
+	rs.sx = float64(g.NX-1) / float64(max(opts.Width-1, 1))
+	rs.sy = float64(g.NY-1) / float64(max(opts.Height-1, 1))
+	rs.width = opts.Width
+
 	var stats RenderStats
-	sx := float64(g.NX-1) / float64(max(opts.Width-1, 1))
-	sy := float64(g.NY-1) / float64(max(opts.Height-1, 1))
-	for py := 0; py < opts.Height; py++ {
-		fy := float64(py) * sy
-		y0 := int(fy)
-		if y0 >= g.NY-1 {
-			y0 = g.NY - 2
-		}
-		wy := fy - float64(y0)
-		for px := 0; px < opts.Width; px++ {
-			fx := float64(px) * sx
-			x0 := int(fx)
-			if x0 >= g.NX-1 {
-				x0 = g.NX - 2
-			}
-			wx := fx - float64(x0)
-			v := (1-wx)*(1-wy)*g.At(x0, y0) +
-				wx*(1-wy)*g.At(x0+1, y0) +
-				(1-wx)*wy*g.At(x0, y0+1) +
-				wx*wy*g.At(x0+1, y0+1)
-			img.SetRGBA(px, py, cm.Map((v-lo)*inv))
-			stats.Pixels++
-		}
-	}
+	par.ForLimit(opts.Workers, opts.Height, rowGrain, rs.fillRows)
+	stats.Pixels = opts.Width * opts.Height
 
 	lineColor := opts.IsolineColor
 	if lineColor.A == 0 {
 		lineColor = color.RGBA{255, 255, 255, 255}
 	}
-	scratch := acquireSegs()
+	cellRows := g.NY - 1
 	for _, level := range opts.Isolines {
-		segs, cells := MarchingSquaresInto((*scratch)[:0], g, level)
-		*scratch = segs
-		stats.ContourCells += cells
-		stats.Segments += len(segs)
+		count := par.Bands(opts.Workers, cellRows, rowGrain)
+		for len(rs.bands) < count {
+			rs.bands = append(rs.bands, nil)
+			rs.cells = append(rs.cells, 0)
+		}
+		rs.level = level
+		rs.segs = rs.segs[:0]
+		// The ordered merge concatenates band partials ascending, which
+		// is exactly the serial row-scan segment sequence.
+		par.Reduce(opts.Workers, cellRows, rowGrain, rs.march, func(band int) {
+			rs.segs = append(rs.segs, rs.bands[band]...)
+			stats.ContourCells += rs.cells[band]
+		})
+		stats.Segments += len(rs.segs)
 		scaleX := float64(opts.Width-1) / float64(g.NX-1)
 		scaleY := float64(opts.Height-1) / float64(g.NY-1)
-		for _, s := range segs {
+		for _, s := range rs.segs {
 			drawLine(img,
 				int(s.X0*scaleX+0.5), int(s.Y0*scaleY+0.5),
 				int(s.X1*scaleX+0.5), int(s.Y1*scaleY+0.5),
 				lineColor)
 		}
 	}
-	releaseSegs(scratch)
+	releaseScratch(rs)
 	return img, stats
 }
 

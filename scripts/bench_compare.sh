@@ -1,0 +1,75 @@
+#!/bin/sh
+# bench_compare.sh — fail on benchmark regressions against a baseline.
+#
+# Usage: scripts/bench_compare.sh [new.json] [baseline.json]
+#
+# new.json defaults to BENCH_pr6.json; the baseline defaults to the
+# newest committed BENCH_*.json other than new.json (by PR number).
+# Benchmarks are matched by name; ones present in only one file are
+# reported but don't fail the check (new kernels have no baseline, and
+# retired benchmarks leave one behind). A matched benchmark fails when
+# its ns/op exceeds the baseline by more than THRESHOLD percent
+# (default 10). Kernel scaling rows (-2/-4 cpu suffix) are reported
+# but never fail: on a host with fewer cores they measure
+# oversubscription jitter, not performance — the unsuffixed serial
+# rows carry the regression signal. Comparisons across hosts with
+# different core counts are refused unless FORCE=1.
+set -eu
+
+cd "$(dirname "$0")/.."
+new="${1:-BENCH_pr6.json}"
+base="${2:-}"
+threshold="${THRESHOLD:-10}"
+
+if [ -z "$base" ]; then
+    base="$(git ls-files 'BENCH_*.json' | grep -v "^$new\$" | sort -t r -k 3 -n | tail -1)"
+fi
+if [ -z "$base" ] || [ ! -f "$base" ]; then
+    echo "bench_compare: no committed baseline BENCH_*.json found" >&2
+    exit 1
+fi
+if [ ! -f "$new" ]; then
+    echo "bench_compare: $new not found (run scripts/bench.sh first)" >&2
+    exit 1
+fi
+
+echo "comparing $new against baseline $base (threshold ${threshold}%)"
+NEW="$new" BASE="$base" THRESHOLD="$threshold" FORCE="${FORCE:-0}" python3 - <<'EOF'
+import json, os, re, sys
+
+new = json.load(open(os.environ["NEW"]))
+base = json.load(open(os.environ["BASE"]))
+threshold = float(os.environ["THRESHOLD"])
+
+if os.environ["FORCE"] != "1" and new.get("cores") != base.get("cores"):
+    print(f"bench_compare: host core counts differ ({new.get('cores')} vs "
+          f"{base.get('cores')}); numbers are not comparable (FORCE=1 overrides)")
+    sys.exit(1)
+
+bnew = {b["name"]: b for b in new["benchmarks"]}
+bbase = {b["name"]: b for b in base["benchmarks"]}
+
+failed = []
+for name in sorted(bnew.keys() & bbase.keys()):
+    n, b = bnew[name]["ns_per_op"], bbase[name]["ns_per_op"]
+    delta = (n - b) / b * 100 if b else 0.0
+    scaling = re.search(r"-\d+$", name) is not None
+    flag = ""
+    if delta > threshold:
+        if scaling:
+            flag = "  (scaling row, informational)"
+        else:
+            failed.append(name)
+            flag = "  REGRESSION"
+    print(f"  {name:<40} {b:>14.0f} -> {n:>14.0f} ns/op  {delta:+6.1f}%{flag}")
+for name in sorted(bnew.keys() - bbase.keys()):
+    print(f"  {name:<40} (new benchmark, no baseline)")
+for name in sorted(bbase.keys() - bnew.keys()):
+    print(f"  {name:<40} (baseline only, not run)")
+
+if failed:
+    print(f"bench_compare: {len(failed)} benchmark(s) regressed more than "
+          f"{threshold}% vs {os.environ['BASE']}: {', '.join(failed)}")
+    sys.exit(1)
+print("bench_compare: no ns/op regressions beyond threshold")
+EOF
