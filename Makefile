@@ -36,7 +36,7 @@ golden:
 golden-update:
 	$(GO) test -run '^TestGolden' -timeout 30m -update ./internal/experiments
 
-# bench records the benchmark set into BENCH_pr6.json.
+# bench records the benchmark set into BENCH_pr7.json.
 bench:
 	scripts/bench.sh
 
@@ -51,4 +51,5 @@ bench-check:
 
 clean:
 	rm -f greenviz greenvizd BENCH_check.json \
-		BENCH_pr1.json BENCH_pr2.json BENCH_pr4.json BENCH_pr6.json
+		BENCH_pr1.json BENCH_pr2.json BENCH_pr4.json BENCH_pr6.json \
+		BENCH_pr7.json

@@ -2,11 +2,14 @@
 // long-running service: submit jobs over HTTP, watch per-stage
 // progress live over SSE, and fetch deterministic report bytes.
 // Identical jobs are content-addressed and deduplicated — N concurrent
-// submits of the same spec cost one underlying run.
+// submits of the same spec cost one underlying run — and, with
+// -store-dir set, finished reports persist to a CRC-checked on-disk
+// store so a restarted daemon serves them byte-identically without
+// re-executing.
 //
 // Usage:
 //
-//	greenvizd -addr 127.0.0.1:8866
+//	greenvizd -addr 127.0.0.1:8866 -store-dir /var/lib/greenvizd
 //	curl -s localhost:8866/v1/experiments
 //	curl -s -XPOST localhost:8866/v1/jobs -d '{"experiment":"fig4"}'
 //	curl -N localhost:8866/v1/jobs/job-000001/events
@@ -30,55 +33,120 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/resultstore"
 	"repro/internal/service"
 )
 
+// daemonConfig bundles the flag set so run and its tests share one
+// shape.
+type daemonConfig struct {
+	addr         string
+	workers      int
+	queueDepth   int
+	drainTimeout time.Duration
+	portFile     string
+
+	storeDir       string
+	storeMaxBytes  int64
+	storeMaxEntr   int
+	jobRetention   time.Duration
+	maxBodyBytes   int64
+	readHeaderWait time.Duration
+	readWait       time.Duration
+	idleWait       time.Duration
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", "127.0.0.1:8866", "listen address (use :0 for an ephemeral port)")
-		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job executions")
-		queueDepth   = flag.Int("queue", 64, "submit queue depth; a full queue rejects with 429")
-		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "graceful-shutdown bound; running jobs canceled after this")
-		portFile     = flag.String("portfile", "", "write the bound listen address to this file (for scripts starting on :0)")
-	)
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8866", "listen address (use :0 for an ephemeral port)")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "concurrent job executions")
+	flag.IntVar(&cfg.queueDepth, "queue", 64, "submit queue depth; a full queue rejects with 429")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Minute, "graceful-shutdown bound; running jobs canceled after this")
+	flag.StringVar(&cfg.portFile, "portfile", "", "write the bound listen address to this file (for scripts starting on :0)")
+	flag.StringVar(&cfg.storeDir, "store-dir", "", "persist finished reports here (CRC-checked, LRU-bounded); empty disables persistence")
+	flag.Int64Var(&cfg.storeMaxBytes, "store-max-bytes", 256<<20, "result-store byte budget; 0 is unbounded")
+	flag.IntVar(&cfg.storeMaxEntr, "store-max-entries", 4096, "result-store entry budget; 0 is unbounded")
+	flag.DurationVar(&cfg.jobRetention, "job-retention", time.Hour, "prune terminal jobs from the job table after this; 0 keeps them forever")
+	flag.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 1<<20, "POST body cap; larger submissions are rejected with 413")
+	flag.DurationVar(&cfg.readHeaderWait, "read-header-timeout", 10*time.Second, "close connections whose request headers stall longer than this")
+	flag.DurationVar(&cfg.readWait, "read-timeout", time.Minute, "close connections whose full request (headers+body) stalls longer than this")
+	flag.DurationVar(&cfg.idleWait, "idle-timeout", 2*time.Minute, "close kept-alive connections idle longer than this")
 	flag.Parse()
-	if err := run(*addr, *workers, *queueDepth, *drainTimeout, *portFile); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "greenvizd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueDepth int, drainTimeout time.Duration, portFile string) error {
-	ln, err := net.Listen("tcp", addr)
+// newHTTPServer builds the daemon's http.Server with the hardening
+// timeouts applied. WriteTimeout stays zero deliberately: /events
+// streams SSE for a job's whole lifetime, and a write deadline would
+// sever live progress mid-run; slow readers are bounded by IdleTimeout
+// between requests and by the kernel's send buffer within one.
+func newHTTPServer(cfg daemonConfig, h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: cfg.readHeaderWait,
+		ReadTimeout:       cfg.readWait,
+		IdleTimeout:       cfg.idleWait,
+	}
+}
+
+func run(cfg daemonConfig) error {
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	if portFile != "" {
-		if err := os.WriteFile(portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+	if cfg.portFile != "" {
+		if err := os.WriteFile(cfg.portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			ln.Close()
 			return fmt.Errorf("portfile: %w", err)
 		}
 	}
 
-	m := service.NewManager(service.Options{Workers: workers, QueueDepth: queueDepth})
-	srv := &http.Server{Handler: service.Handler(m)}
+	var store *resultstore.Store
+	if cfg.storeDir != "" {
+		store, err = resultstore.Open(resultstore.Options{
+			Dir:        cfg.storeDir,
+			MaxBytes:   cfg.storeMaxBytes,
+			MaxEntries: cfg.storeMaxEntr,
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "greenvizd: result store %s warm with %d reports (%d bytes, %d corrupt evicted)\n",
+			cfg.storeDir, st.Entries, st.Bytes, st.Corruptions)
+	}
+
+	m := service.NewManager(service.Options{
+		Workers:      cfg.workers,
+		QueueDepth:   cfg.queueDepth,
+		MaxBodyBytes: cfg.maxBodyBytes,
+		Store:        store,
+		JobRetention: cfg.jobRetention,
+	})
+	srv := newHTTPServer(cfg, service.Handler(m))
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "greenvizd: listening on %s (workers=%d queue=%d)\n", ln.Addr(), workers, queueDepth)
+	fmt.Fprintf(os.Stderr, "greenvizd: listening on %s (workers=%d queue=%d)\n", ln.Addr(), cfg.workers, cfg.queueDepth)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "greenvizd: %v, draining (timeout %s)\n", s, drainTimeout)
+		fmt.Fprintf(os.Stderr, "greenvizd: %v, draining (timeout %s)\n", s, cfg.drainTimeout)
 	case err := <-serveErr:
 		return err
 	}
 
 	// Drain the manager first — submits now bounce with 503 while the
 	// API keeps answering status/report/event requests for the jobs
-	// being drained — then stop the HTTP server.
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	// being drained — then stop the HTTP server. The manager closes
+	// the result store once the pool is idle, so every drained job's
+	// report is durable before exit.
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := m.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "greenvizd: drain timeout, canceled remaining jobs: %v\n", err)

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServerTimeoutsConfigured pins the hardening defaults onto the
+// http.Server: header, read, and idle timeouts come from the flags,
+// and WriteTimeout stays zero so SSE streams are never severed
+// mid-run.
+func TestServerTimeoutsConfigured(t *testing.T) {
+	cfg := daemonConfig{
+		readHeaderWait: 123 * time.Millisecond,
+		readWait:       456 * time.Millisecond,
+		idleWait:       789 * time.Millisecond,
+	}
+	srv := newHTTPServer(cfg, http.NewServeMux())
+	if srv.ReadHeaderTimeout != cfg.readHeaderWait {
+		t.Errorf("ReadHeaderTimeout = %s, want %s", srv.ReadHeaderTimeout, cfg.readHeaderWait)
+	}
+	if srv.ReadTimeout != cfg.readWait {
+		t.Errorf("ReadTimeout = %s, want %s", srv.ReadTimeout, cfg.readWait)
+	}
+	if srv.IdleTimeout != cfg.idleWait {
+		t.Errorf("IdleTimeout = %s, want %s", srv.IdleTimeout, cfg.idleWait)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %s, want 0 (would sever SSE)", srv.WriteTimeout)
+	}
+}
+
+// TestSlowlorisHeaderTimeout: a client that dribbles half a request
+// line and stalls is disconnected once ReadHeaderTimeout elapses,
+// instead of pinning a connection forever; a well-behaved request on
+// the same server still succeeds.
+func TestSlowlorisHeaderTimeout(t *testing.T) {
+	cfg := daemonConfig{
+		readHeaderWait: 100 * time.Millisecond,
+		readWait:       300 * time.Millisecond,
+		idleWait:       time.Second,
+	}
+	srv := newHTTPServer(cfg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: slow\r\nX-Drib")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	elapsed := time.Since(start)
+	// The server must end the connection (EOF/reset, possibly after a
+	// 408) well before our own 10 s guard deadline.
+	if nerr, ok := err.(net.Error); err == nil && n > 0 {
+		// Some servers write "408 Request Timeout" before closing; a
+		// subsequent read must then hit EOF.
+		if _, err2 := conn.Read(buf); err2 == nil {
+			t.Fatalf("connection still open %s after partial headers", elapsed)
+		}
+	} else if ok && nerr.Timeout() {
+		t.Fatalf("server never closed the stalled connection (read timed out after %s)", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("stalled connection lived %s, want ~%s", elapsed, cfg.readHeaderWait)
+	}
+
+	// The listener still serves complete requests afterwards.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatalf("well-behaved request after slowloris: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d after slowloris", resp.StatusCode)
+	}
+}

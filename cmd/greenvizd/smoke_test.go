@@ -135,6 +135,130 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 }
 
+// TestDaemonWarmRestart is the durability acceptance gate: a daemon
+// computes fig4 into its result store, exits cleanly, and a second
+// daemon over the same -store-dir serves the identical report —
+// verified against the committed golden digest — with its executions
+// counter still at zero. The energy the first run burned is spent
+// exactly once.
+func TestDaemonWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the daemon and runs fig4 at CLI fidelity")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "greenvizd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(dir, "store")
+	golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "experiments", "testdata", "golden", "fig4.sha256"))
+	if err != nil {
+		t.Fatalf("read golden digest: %v", err)
+	}
+	want, _, _ := strings.Cut(strings.TrimSpace(string(golden)), "  ")
+
+	// daemonCycle runs one daemon generation against the shared store:
+	// submit fig4, fetch its report, scrape executions_total and the
+	// store hit counter, then SIGTERM and wait for a clean exit.
+	daemonCycle := func(gen int) (report []byte, executions, storeHits string) {
+		t.Helper()
+		portFile := filepath.Join(dir, fmt.Sprintf("port-%d", gen))
+		daemon := exec.Command(bin,
+			"-addr", "127.0.0.1:0", "-portfile", portFile,
+			"-store-dir", storeDir, "-drain-timeout", "2m")
+		var stderr bytes.Buffer
+		daemon.Stderr = &stderr
+		if err := daemon.Start(); err != nil {
+			t.Fatalf("start daemon gen %d: %v", gen, err)
+		}
+		var exitErr error
+		exited := make(chan struct{})
+		go func() { exitErr = daemon.Wait(); close(exited) }()
+		defer func() {
+			select {
+			case <-exited:
+			default:
+				daemon.Process.Kill()
+				<-exited
+			}
+			if t.Failed() {
+				t.Logf("gen %d stderr:\n%s", gen, stderr.String())
+			}
+		}()
+
+		base := waitForPort(t, portFile, exited)
+		id := submit(t, base, `{"experiment":"fig4"}`)
+		waitDone(t, base, id, 5*time.Minute)
+
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/report")
+		if err != nil {
+			t.Fatalf("gen %d GET report: %v", gen, err)
+		}
+		report, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("gen %d report status %d: %s", gen, resp.StatusCode, report)
+		}
+		executions = scrapeMetric(t, base, "greenvizd_executions_total")
+		storeHits = scrapeMetric(t, base, "greenvizd_store_hits_total")
+
+		if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("gen %d SIGTERM: %v", gen, err)
+		}
+		select {
+		case <-exited:
+			if exitErr != nil {
+				t.Fatalf("gen %d exit: %v\n%s", gen, exitErr, stderr.String())
+			}
+		case <-time.After(3 * time.Minute):
+			t.Fatalf("gen %d did not exit after SIGTERM", gen)
+		}
+		return report, executions, storeHits
+	}
+
+	cold, coldExecs, _ := daemonCycle(1)
+	if got := fmt.Sprintf("%x", sha256.Sum256(cold)); got != want {
+		t.Fatalf("cold report diverged from golden digest\n  got  %s\n  want %s", got, want)
+	}
+	if coldExecs != "1" {
+		t.Errorf("cold daemon executions_total = %s, want 1", coldExecs)
+	}
+
+	warm, warmExecs, warmHits := daemonCycle(2)
+	if !bytes.Equal(warm, cold) {
+		t.Errorf("warm-restart report is not byte-identical to the cold run")
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(warm)); got != want {
+		t.Errorf("warm report diverged from golden digest\n  got  %s\n  want %s", got, want)
+	}
+	if warmExecs != "0" {
+		t.Errorf("warm daemon executions_total = %s, want 0 (report must come from the store)", warmExecs)
+	}
+	if warmHits != "1" {
+		t.Errorf("warm daemon store_hits_total = %s, want 1", warmHits)
+	}
+}
+
+// scrapeMetric fetches /metrics and returns the named counter's value.
+func scrapeMetric(t *testing.T, base, name string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			return v
+		}
+	}
+	t.Fatalf("metric %s absent:\n%s", name, body)
+	return ""
+}
+
 // waitForPort waits for the daemon to write its bound address.
 func waitForPort(t *testing.T, portFile string, exited <-chan struct{}) string {
 	t.Helper()

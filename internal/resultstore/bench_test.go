@@ -1,0 +1,82 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// benchDigest derives distinct well-formed keys from a counter.
+func benchDigest(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("bench-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// benchBody approximates one experiment report (~4 KiB of text).
+var benchBody = make([]byte, 4096)
+
+// BenchmarkStoreGetHit is the serving-side number scripts/bench.sh
+// tracks: the cost of one warm hit — index lookup, record read, CRC
+// verification, LRU touch — versus re-running the pipeline (hundreds
+// of milliseconds). This is the latency a restarted daemon pays per
+// previously-computed report.
+func BenchmarkStoreGetHit(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	d := benchDigest(0)
+	if err := s.Put(d, benchBody); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(d); !ok {
+			b.Fatal("warm record missed")
+		}
+	}
+}
+
+// BenchmarkStorePutCold measures the durable write path — record
+// assembly, temp write, fsync, rename, index insert — with budgets
+// never exceeded, i.e. the per-completion cost finish() adds.
+func BenchmarkStorePutCold(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(benchDigest(i), benchBody); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreEvict measures steady-state eviction throughput: a
+// full count-budgeted store where every Put displaces the coldest
+// record (write + unlink per op).
+func BenchmarkStoreEvict(b *testing.B) {
+	s, err := Open(Options{Dir: b.TempDir(), MaxEntries: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 64; i++ {
+		if err := s.Put(benchDigest(i), benchBody); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(benchDigest(64+i), benchBody); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

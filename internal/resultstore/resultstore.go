@@ -1,0 +1,480 @@
+// Package resultstore is greenvizd's durable result layer: a
+// disk-backed, content-addressed store for finished report bytes,
+// keyed by the service's SHA-256 job digest. It exists because the
+// in-memory execution cache — the thing that makes N identical
+// submits cost one run — used to vanish on every restart, re-burning
+// the energy the cache saves (the paper's greenness argument applied
+// to the serving layer: fewer redundant executions = lower dynamic
+// energy).
+//
+// The design goals, in order:
+//
+//   - Durability without torn reads: a record is written to a
+//     temporary file in the store directory, fsynced, and renamed
+//     into place, so a crash mid-write leaves either the old record
+//     or none — never a half-written one that parses.
+//   - Integrity over trust: every record carries a CRC-32 (IEEE)
+//     footer over its header and body — the same checksum convention
+//     internal/checkpoint uses for its on-disk prefix — verified on
+//     every read. A corrupt record is deleted and counted, never
+//     served; the caller sees a miss and re-runs, which is exactly
+//     the fallback the deterministic core makes cheap.
+//   - Bounded growth: the index is an LRU with independent byte and
+//     entry budgets. Inserting past either budget evicts from the
+//     cold end, deleting the backing files.
+//   - Warm starts: Open scans the directory, validates every record,
+//     rebuilds the LRU in file-modification order (oldest coldest),
+//     and applies the budgets — so a restarted daemon serves
+//     previously-computed reports byte-identically without
+//     re-executing anything.
+//
+// All methods are safe for concurrent use.
+package resultstore
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Magic identifies a result record file.
+const Magic = "GVRSLT01"
+
+// recVersion is the on-disk record format version.
+const recVersion = 1
+
+// headerSize is the fixed record header: magic, version, the raw
+// 32-byte digest the filename claims, and the body length.
+const headerSize = 8 + 4 + 32 + 8
+
+// footerSize is the trailing CRC-32.
+const footerSize = 4
+
+// recSuffix names record files: <64-hex-digest>.rec.
+const recSuffix = ".rec"
+
+// tmpSuffix marks in-flight writes; leftovers are swept on Open.
+const tmpSuffix = ".tmp"
+
+// ErrClosed rejects operations after Close.
+var ErrClosed = errors.New("resultstore: closed")
+
+// ErrCorrupt reports a failed magic, bounds, digest, or CRC check.
+// Callers never see it from Get — corrupt records surface as misses —
+// but tests and the scanner use it to classify failures.
+var ErrCorrupt = errors.New("resultstore: corrupt record")
+
+// Options configures a Store. The zero value of either budget means
+// "unbounded" on that axis.
+type Options struct {
+	// Dir is the store directory; created if missing.
+	Dir string
+	// MaxBytes bounds the summed record sizes (headers and footers
+	// included, matching bytes-on-disk). 0 = unbounded.
+	MaxBytes int64
+	// MaxEntries bounds the record count. 0 = unbounded.
+	MaxEntries int
+}
+
+// Stats is a point-in-time counter snapshot for /metrics.
+type Stats struct {
+	Entries     int
+	Bytes       int64
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Corruptions uint64
+}
+
+// entry is one LRU index node. The list is intrusive (prev/next
+// pointers) rather than container/list so eviction sweeps allocate
+// nothing.
+type entry struct {
+	digest     string
+	size       int64 // full record size on disk
+	prev, next *entry
+}
+
+// Store is the disk-backed LRU. The in-memory index holds only
+// digests and sizes; report bytes live on disk and are re-read (and
+// re-verified) on every Get.
+type Store struct {
+	opts Options
+
+	mu      sync.Mutex
+	closed  bool
+	index   map[string]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+	bytes   int64
+	scratch []byte // record assembly buffer, reused across Puts
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	corruptions atomic.Uint64
+}
+
+// Open creates or reopens a store rooted at opts.Dir: it sweeps
+// leftover temporary files, validates every record (corrupt ones are
+// deleted and counted), rebuilds the LRU index in file-modification
+// order, and applies the budgets by evicting from the cold end.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("resultstore: Dir required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{opts: opts, index: map[string]*entry{}}
+
+	ents, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	type found struct {
+		digest string
+		size   int64
+		mtime  int64
+	}
+	var records []found
+	for _, de := range ents {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			os.Remove(filepath.Join(opts.Dir, name))
+		case strings.HasSuffix(name, recSuffix):
+			digest := strings.TrimSuffix(name, recSuffix)
+			path := filepath.Join(opts.Dir, name)
+			if !validDigest(digest) {
+				s.discardCorrupt(path)
+				continue
+			}
+			body, err := readRecord(path, digest)
+			if err != nil {
+				s.discardCorrupt(path)
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			records = append(records, found{digest, recordSize(len(body)), info.ModTime().UnixNano()})
+		}
+	}
+	// Oldest first, so the insertion loop below leaves the newest
+	// record hottest. Name breaks mtime ties deterministically.
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].mtime != records[j].mtime {
+			return records[i].mtime < records[j].mtime
+		}
+		return records[i].digest < records[j].digest
+	})
+	s.mu.Lock()
+	for _, r := range records {
+		s.insertLocked(r.digest, r.size)
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// validDigest accepts exactly the hex SHA-256 form the service emits.
+func validDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	_, err := hex.DecodeString(d)
+	return err == nil
+}
+
+// recordSize is the on-disk size of a record holding a body of n bytes.
+func recordSize(n int) int64 { return int64(headerSize + n + footerSize) }
+
+func (s *Store) path(digest string) string {
+	return filepath.Join(s.opts.Dir, digest+recSuffix)
+}
+
+// discardCorrupt deletes an unreadable record and counts it.
+func (s *Store) discardCorrupt(path string) {
+	os.Remove(path)
+	s.corruptions.Add(1)
+}
+
+// Get returns the stored report for digest, verifying the record's
+// CRC footer on the way in. Corrupt or missing records report a miss
+// (corrupt ones are also deleted and counted); hits refresh the
+// entry's LRU position.
+func (s *Store) Get(digest string) ([]byte, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
+	e, ok := s.index[digest]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	// Re-reading under the lock keeps Get linearizable with eviction
+	// and Put; record bodies are small (report text), so the I/O held
+	// under the lock is a few microseconds.
+	body, err := readRecord(s.path(digest), digest)
+	if err != nil {
+		s.removeLocked(e)
+		s.mu.Unlock()
+		s.discardCorrupt(s.path(digest))
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.touchLocked(e)
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return body, true
+}
+
+// Contains reports whether digest is indexed, without touching LRU
+// order or counters.
+func (s *Store) Contains(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[digest]
+	return ok
+}
+
+// Put stores body under digest: the record is assembled with its CRC
+// footer, written to a temp file, fsynced, renamed into place, and
+// indexed hottest; anything past the budgets is then evicted coldest
+// first. A body too large to ever fit MaxBytes is skipped (nil
+// error): storing it would only evict everything else to make room
+// for an entry the next Put displaces. Re-putting an existing digest
+// refreshes its LRU position and rewrites the record.
+func (s *Store) Put(digest string, body []byte) error {
+	if !validDigest(digest) {
+		return fmt.Errorf("resultstore: bad digest %q", digest)
+	}
+	size := recordSize(len(body))
+	if s.opts.MaxBytes > 0 && size > s.opts.MaxBytes {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	rec := s.assembleLocked(digest, body)
+	if err := writeAtomic(s.opts.Dir, s.path(digest), rec); err != nil {
+		return err
+	}
+	if e, ok := s.index[digest]; ok {
+		s.bytes += size - e.size
+		e.size = size
+		s.touchLocked(e)
+	} else {
+		s.insertLocked(digest, size)
+	}
+	s.evictLocked()
+	return nil
+}
+
+// assembleLocked builds the record bytes in the store's reusable
+// scratch buffer: header, body, CRC-32 footer over both.
+func (s *Store) assembleLocked(digest string, body []byte) []byte {
+	n := int(recordSize(len(body)))
+	if cap(s.scratch) < n {
+		s.scratch = make([]byte, n)
+	}
+	rec := s.scratch[:n]
+	copy(rec[0:8], Magic)
+	le := binary.LittleEndian
+	le.PutUint32(rec[8:], recVersion)
+	raw, _ := hex.DecodeString(digest) // validated by the caller
+	copy(rec[12:44], raw)
+	le.PutUint64(rec[44:], uint64(len(body)))
+	copy(rec[headerSize:], body)
+	le.PutUint32(rec[headerSize+len(body):], crc32.ChecksumIEEE(rec[:headerSize+len(body)]))
+	return rec
+}
+
+// writeAtomic writes data to path via a temp file in dir: the temp is
+// synced before the rename so the record's bytes are on the platter
+// (or in the device cache) before the name points at them.
+func writeAtomic(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "put-*"+tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return nil
+}
+
+// readRecord loads and fully validates one record, returning its body.
+func readRecord(path, digest string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < headerSize+footerSize {
+		return nil, fmt.Errorf("%w: short record (%d bytes)", ErrCorrupt, len(b))
+	}
+	if string(b[:8]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:8])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(b[8:]); v != recVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, v)
+	}
+	if got := hex.EncodeToString(b[12:44]); got != digest {
+		return nil, fmt.Errorf("%w: digest %s under name %s", ErrCorrupt, got, digest)
+	}
+	bodyLen := le.Uint64(b[44:])
+	if recordSize(int(bodyLen)) != int64(len(b)) {
+		return nil, fmt.Errorf("%w: body length %d in a %d-byte record", ErrCorrupt, bodyLen, len(b))
+	}
+	payloadEnd := headerSize + int(bodyLen)
+	want := le.Uint32(b[payloadEnd:])
+	if got := crc32.ChecksumIEEE(b[:payloadEnd]); got != want {
+		return nil, fmt.Errorf("%w: CRC %08x != footer %08x", ErrCorrupt, got, want)
+	}
+	// Copy the body out so the caller never aliases the read buffer's
+	// header/footer regions.
+	body := make([]byte, bodyLen)
+	copy(body, b[headerSize:payloadEnd])
+	return body, nil
+}
+
+// insertLocked indexes a digest at the hot end.
+func (s *Store) insertLocked(digest string, size int64) {
+	e := &entry{digest: digest, size: size}
+	s.index[digest] = e
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+	s.bytes += size
+}
+
+// touchLocked moves an entry to the hot end.
+func (s *Store) touchLocked(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlinkLocked(e)
+	e.next = s.head
+	e.prev = nil
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// removeLocked drops an entry from the index without touching disk.
+func (s *Store) removeLocked(e *entry) {
+	s.unlinkLocked(e)
+	delete(s.index, e.digest)
+	s.bytes -= e.size
+}
+
+func (s *Store) unlinkLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if s.head == e {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evictLocked deletes cold records until both budgets hold.
+func (s *Store) evictLocked() {
+	for s.tail != nil && s.overBudgetLocked() {
+		victim := s.tail
+		s.removeLocked(victim)
+		os.Remove(s.path(victim.digest))
+		s.evictions.Add(1)
+	}
+}
+
+func (s *Store) overBudgetLocked() bool {
+	if s.opts.MaxBytes > 0 && s.bytes > s.opts.MaxBytes {
+		return true
+	}
+	if s.opts.MaxEntries > 0 && len(s.index) > s.opts.MaxEntries {
+		return true
+	}
+	return false
+}
+
+// Len reports the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Bytes reports the summed on-disk record sizes.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Stats snapshots the counters and gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes := len(s.index), s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Entries:     entries,
+		Bytes:       bytes,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		Corruptions: s.corruptions.Load(),
+	}
+}
+
+// Close marks the store closed: Get reports misses-without-counting
+// and Put returns ErrClosed. Records already on disk stay for the
+// next Open — Close is a fence for shutdown ordering, not a flush
+// (every Put is already durable when it returns). Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,336 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// digestOf derives a well-formed store key for test bodies.
+func digestOf(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestRoundTrip pins the basic contract: Put then Get returns the
+// exact bytes, counters move, and the record survives a reopen.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+
+	digest := digestOf("job-a")
+	body := []byte("== fig4 ==\nreport body\n")
+	if err := s.Put(digest, body); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(digest)
+	if !ok || string(got) != string(body) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := s.Get(digestOf("missing")); ok {
+		t.Fatal("Get of an unknown digest hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+	if st.Bytes != recordSize(len(body)) {
+		t.Errorf("Bytes = %d, want %d", st.Bytes, recordSize(len(body)))
+	}
+
+	// Warm start: a fresh Open over the same directory serves the
+	// same bytes without any Put.
+	s.Close()
+	s2 := mustOpen(t, Options{Dir: dir})
+	got2, ok := s2.Get(digest)
+	if !ok || string(got2) != string(body) {
+		t.Fatalf("reopened Get = %q, %v", got2, ok)
+	}
+	if s2.Stats().Corruptions != 0 {
+		t.Errorf("clean reopen counted corruptions: %+v", s2.Stats())
+	}
+}
+
+// TestCorruptionDetected flips one byte of a record on disk: the next
+// Get must miss, count a corruption, and delete the bad file instead
+// of serving damaged report bytes.
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	digest := digestOf("job-corrupt")
+	if err := s.Put(digest, []byte("pristine report bytes")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	path := filepath.Join(dir, digest+recSuffix)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+3] ^= 0x40 // flip a bit mid-body
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if body, ok := s.Get(digest); ok {
+		t.Fatalf("corrupt record served: %q", body)
+	}
+	st := s.Stats()
+	if st.Corruptions != 1 || st.Misses != 1 || st.Entries != 0 {
+		t.Errorf("stats after corruption = %+v", st)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt record left on disk: %v", err)
+	}
+
+	// A re-Put repairs the slot.
+	if err := s.Put(digest, []byte("fresh")); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	if body, ok := s.Get(digest); !ok || string(body) != "fresh" {
+		t.Errorf("repaired Get = %q, %v", body, ok)
+	}
+}
+
+// TestOpenEvictsCorrupt: corruption present at boot is swept by the
+// warm-start scan, not discovered later by an unlucky Get.
+func TestOpenEvictsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	good, bad := digestOf("good"), digestOf("bad")
+	if err := s.Put(good, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bad, []byte("break me")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	badPath := filepath.Join(dir, bad+recSuffix)
+	raw, _ := os.ReadFile(badPath)
+	raw[len(raw)-1] ^= 0xff // corrupt the CRC footer itself
+	os.WriteFile(badPath, raw, 0o644)
+	// A stray temp file and a garbage-named record are also swept.
+	os.WriteFile(filepath.Join(dir, "put-123"+tmpSuffix), []byte("junk"), 0o644)
+	os.WriteFile(filepath.Join(dir, "nothex"+recSuffix), []byte("junk"), 0o644)
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	if s2.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (corrupt evicted)", s2.Len())
+	}
+	if got := s2.Stats().Corruptions; got != 2 {
+		t.Errorf("Corruptions = %d, want 2 (bad CRC + bad name)", got)
+	}
+	if body, ok := s2.Get(good); !ok || string(body) != "keep me" {
+		t.Errorf("good record lost: %q, %v", body, ok)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, de := range ents {
+		if strings.HasSuffix(de.Name(), tmpSuffix) {
+			t.Errorf("temp file survived the sweep: %s", de.Name())
+		}
+	}
+}
+
+// TestEvictionByBytes fills past MaxBytes and expects the cold end to
+// go first, files included.
+func TestEvictionByBytes(t *testing.T) {
+	dir := t.TempDir()
+	body := make([]byte, 1000)
+	// Three records fit, the fourth forces one eviction.
+	s := mustOpen(t, Options{Dir: dir, MaxBytes: 3 * recordSize(len(body))})
+
+	var digests []string
+	for i := 0; i < 4; i++ {
+		d := digestOf(fmt.Sprintf("job-%d", i))
+		digests = append(digests, d)
+		if err := s.Put(d, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if _, ok := s.Get(digests[0]); ok {
+		t.Error("coldest record survived a byte-budget overflow")
+	}
+	if _, err := os.Stat(filepath.Join(dir, digests[0]+recSuffix)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("evicted record's file survived")
+	}
+	for _, d := range digests[1:] {
+		if _, ok := s.Get(d); !ok {
+			t.Errorf("hot record %s evicted", d[:8])
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 3*recordSize(len(body)) {
+		t.Errorf("Bytes = %d over budget", st.Bytes)
+	}
+
+	// A Get refreshes LRU position: the loop above left digests[1]
+	// coldest, so re-read it, insert one more, and digests[2] (now
+	// coldest) must fall out instead.
+	if _, ok := s.Get(digests[1]); !ok {
+		t.Fatal("touch Get missed")
+	}
+	if err := s.Put(digestOf("job-5"), body); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(digests[1]); !ok {
+		t.Error("recently-read record evicted before colder one")
+	}
+	if s.Contains(digests[2]) {
+		t.Error("cold record survived; LRU order not refreshed by Get")
+	}
+}
+
+// TestEvictionByEntries: the count budget works independently of bytes.
+func TestEvictionByEntries(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), MaxEntries: 2})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(digestOf(fmt.Sprintf("e-%d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if got := s.Stats().Evictions; got != 3 {
+		t.Errorf("Evictions = %d, want 3", got)
+	}
+	for _, want := range []string{"e-3", "e-4"} {
+		if !s.Contains(digestOf(want)) {
+			t.Errorf("hot entry %s missing", want)
+		}
+	}
+}
+
+// TestOversizedBodySkipped: a record that alone exceeds MaxBytes is
+// not stored and does not wipe the rest of the cache to make room.
+func TestOversizedBodySkipped(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), MaxBytes: 2048})
+	small := digestOf("small")
+	if err := s.Put(small, []byte("fits")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digestOf("huge"), make([]byte, 4096)); err != nil {
+		t.Fatalf("oversized Put errored: %v", err)
+	}
+	if !s.Contains(small) {
+		t.Error("oversized Put evicted the resident record")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (oversized body skipped)", s.Len())
+	}
+}
+
+// TestWarmStartBudgets: reopening with tighter budgets trims the
+// directory down, oldest records first.
+func TestWarmStartBudgets(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 4; i++ {
+		if err := s.Put(digestOf(fmt.Sprintf("w-%d", i)), []byte("body")); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes make the scan's recovered LRU order exact.
+		path := filepath.Join(dir, digestOf(fmt.Sprintf("w-%d", i))+recSuffix)
+		mt := time.Now().Add(time.Duration(i-10) * time.Second)
+		os.Chtimes(path, mt, mt)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, Options{Dir: dir, MaxEntries: 2})
+	if s2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after budgeted reopen", s2.Len())
+	}
+	for _, want := range []string{"w-2", "w-3"} {
+		if !s2.Contains(digestOf(want)) {
+			t.Errorf("newest record %s evicted by warm-start trim", want)
+		}
+	}
+	if got := s2.Stats().Evictions; got != 2 {
+		t.Errorf("Evictions = %d, want 2", got)
+	}
+}
+
+// TestClosedStore: Close fences Get and Put without deleting records.
+func TestClosedStore(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	d := digestOf("closing")
+	if err := s.Put(d, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, ok := s.Get(d); ok {
+		t.Error("Get succeeded after Close")
+	}
+	if err := s.Put(digestOf("late"), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+	s2 := mustOpen(t, Options{Dir: dir})
+	if body, ok := s2.Get(d); !ok || string(body) != "durable" {
+		t.Errorf("record lost across Close/Open: %q, %v", body, ok)
+	}
+}
+
+// TestBadDigestRejected: Put validates its key so a malformed digest
+// can never alias a path outside the naming scheme.
+func TestBadDigestRejected(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	for _, bad := range []string{"", "short", "../../etc/passwd", strings.Repeat("zz", 32)} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers Put/Get/Stats from many goroutines
+// under -race; correctness here is "no race, no panic, budgets hold".
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), MaxEntries: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d := digestOf(fmt.Sprintf("c-%d", (g+i)%16))
+				if i%3 == 0 {
+					if err := s.Put(d, []byte("concurrent body")); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				} else {
+					s.Get(d)
+				}
+				s.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Len(); n > 8 {
+		t.Errorf("Len = %d exceeds MaxEntries", n)
+	}
+}

@@ -42,11 +42,25 @@ func viewOf(j *Job) jobView {
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// A spec is a few hundred bytes; cap the body so an oversized
+		// POST can't allocate unboundedly, and reject trailing data so
+		// a concatenated second object isn't silently ignored.
+		r.Body = http.MaxBytesReader(w, r.Body, m.opts.MaxBodyBytes)
 		var spec JobSpec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("spec body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decode spec: %w", err))
+			return
+		}
+		if dec.More() {
+			httpError(w, http.StatusBadRequest, errors.New("trailing data after spec object"))
 			return
 		}
 		job, err := m.Submit(spec)
@@ -148,7 +162,7 @@ func Handler(m *Manager) http.Handler {
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		m.Metrics.WriteTo(w, m.QueueDepth(), m.CacheEntries())
+		m.Metrics.WriteTo(w, m.QueueDepth(), m.CacheEntries(), m.JobCount(), m.StoreStats())
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

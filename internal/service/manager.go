@@ -7,6 +7,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/resultstore"
 )
 
 // Submission errors the HTTP layer maps to status codes.
@@ -54,11 +57,12 @@ type execution struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu     sync.Mutex
-	state  State
-	report []byte
-	err    error
-	refs   int // attached, un-canceled jobs
+	mu         sync.Mutex
+	state      State
+	report     []byte
+	err        error
+	refs       int       // attached, un-canceled jobs
+	finishedAt time.Time // when the execution went terminal
 }
 
 func (e *execution) getState() State {
@@ -75,7 +79,8 @@ type Job struct {
 	Spec JobSpec // normalized
 	exec *execution
 
-	canceled atomic.Bool
+	canceled   atomic.Bool
+	canceledAt atomic.Int64 // unix nanos, set before canceled flips
 }
 
 // State returns the job's effective state: its execution's, unless
@@ -113,6 +118,22 @@ func (j *Job) Report() ([]byte, bool) {
 // Events exposes the job's event log for SSE streaming.
 func (j *Job) Events() *eventLog { return j.exec.log }
 
+// terminalAt returns when the job reached a terminal state, and
+// whether it has: a job canceled individually uses its cancel time,
+// otherwise its execution's finish time. Retention GC prunes on this.
+func (j *Job) terminalAt() (time.Time, bool) {
+	if j.canceled.Load() {
+		return time.Unix(0, j.canceledAt.Load()), true
+	}
+	e := j.exec
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.state.Terminal() {
+		return time.Time{}, false
+	}
+	return e.finishedAt, true
+}
+
 // Options sizes a Manager.
 type Options struct {
 	// Workers is the worker-pool size (default GOMAXPROCS).
@@ -120,6 +141,20 @@ type Options struct {
 	// QueueDepth bounds the submit queue; a full queue rejects with
 	// ErrQueueFull (default 64).
 	QueueDepth int
+	// MaxBodyBytes caps POST /v1/jobs request bodies; oversized
+	// submissions are rejected with 413 (default 1 MiB).
+	MaxBodyBytes int64
+	// Store, when non-nil, persists finished reports to disk: submits
+	// whose digest the store holds are served without re-executing
+	// (surviving restarts), and Shutdown closes the store after the
+	// pool drains. The manager owns the store once handed over.
+	Store *resultstore.Store
+	// JobRetention bounds the job table: terminal jobs older than
+	// this are pruned by a background sweep (their executions stay
+	// cached, or on disk via Store). 0 keeps every job forever —
+	// the pre-retention behavior. Queued and running jobs are never
+	// touched regardless of age.
+	JobRetention time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +163,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
 	}
 	return o
 }
@@ -152,11 +190,13 @@ type Manager struct {
 	cache    map[string]*execution
 	nextID   int
 
-	queue chan *execution
-	wg    sync.WaitGroup
+	queue  chan *execution
+	wg     sync.WaitGroup
+	gcStop chan struct{} // non-nil iff the retention sweeper runs
 }
 
-// NewManager starts a manager and its worker pool.
+// NewManager starts a manager, its worker pool, and — when a
+// retention horizon is configured — the background job-table sweeper.
 func NewManager(opts Options) *Manager {
 	m := &Manager{
 		opts:  opts.withDefaults(),
@@ -168,6 +208,11 @@ func NewManager(opts Options) *Manager {
 	for i := 0; i < m.opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
+	}
+	if m.opts.JobRetention > 0 {
+		m.gcStop = make(chan struct{})
+		m.wg.Add(1)
+		go m.gcLoop()
 	}
 	return m
 }
@@ -197,18 +242,62 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 
 	if e, ok := m.cache[digest]; ok {
-		job := m.newJobLocked(norm, e)
+		// Re-check the execution's state under its lock before
+		// attaching: finish() marks an execution failed/canceled under
+		// e.mu and only then takes m.mu to evict the digest, so a
+		// submit landing in that window would otherwise attach to the
+		// doomed execution and observe its stale error even though an
+		// identical resubmit is supposed to retry. A terminal non-done
+		// entry here is exactly that window — drop it and fall through
+		// to a fresh execution (finish's own eviction is guarded by an
+		// identity check, so it won't delete the replacement).
 		e.mu.Lock()
-		e.refs++
-		done := e.state == StateDone
-		e.mu.Unlock()
-		if done {
-			m.Metrics.CacheHits.Add(1)
-		} else {
-			m.Metrics.Deduped.Add(1)
+		stale := e.state == StateFailed || e.state == StateCanceled
+		if !stale {
+			e.refs++
+			done := e.state == StateDone
+			e.mu.Unlock()
+			job := m.newJobLocked(norm, e)
+			if done {
+				m.Metrics.CacheHits.Add(1)
+			} else {
+				m.Metrics.Deduped.Add(1)
+			}
+			m.Metrics.Submitted.Add(1)
+			return job, nil
 		}
-		m.Metrics.Submitted.Add(1)
-		return job, nil
+		e.mu.Unlock()
+		delete(m.cache, digest)
+	}
+
+	// Not in memory: the durable store may hold the report from an
+	// earlier run (possibly a previous process). A hit synthesizes an
+	// already-done execution, so restarts serve warm results without
+	// re-executing. The store read happens under m.mu — record bodies
+	// are small report text, and holding the lock keeps the probe
+	// atomic with cache insertion (no duplicate executions).
+	if m.opts.Store != nil {
+		if body, ok := m.opts.Store.Get(digest); ok {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel() // nothing will run; the execution is born terminal
+			e := &execution{
+				digest:     digest,
+				spec:       norm,
+				log:        newEventLog(),
+				ctx:        ctx,
+				cancel:     cancel,
+				state:      StateDone,
+				report:     body,
+				refs:       1,
+				finishedAt: time.Now(),
+			}
+			e.log.emit(Event{Type: "done"})
+			m.cache[digest] = e
+			job := m.newJobLocked(norm, e)
+			m.Metrics.CacheHits.Add(1)
+			m.Metrics.Submitted.Add(1)
+			return job, nil
+		}
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -279,6 +368,7 @@ func (m *Manager) Cancel(id string) (State, error) {
 	if st := job.State(); st.Terminal() {
 		return st, nil
 	}
+	job.canceledAt.Store(time.Now().UnixNano()) // before the flag flips, so GC never reads zero
 	if job.canceled.CompareAndSwap(false, true) {
 		e := job.exec
 		e.mu.Lock()
@@ -302,6 +392,91 @@ func (m *Manager) CacheEntries() int {
 	return len(m.cache)
 }
 
+// JobCount reports the number of tracked (un-retired) jobs.
+func (m *Manager) JobCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// StoreStats snapshots the durable store's counters (zero without a
+// store).
+func (m *Manager) StoreStats() resultstore.Stats {
+	if m.opts.Store == nil {
+		return resultstore.Stats{}
+	}
+	return m.opts.Store.Stats()
+}
+
+// gcLoop periodically prunes terminal jobs past the retention
+// horizon. The sweep interval tracks the horizon (a quarter of it,
+// clamped) so eviction lag is proportional to the configured window.
+func (m *Manager) gcLoop() {
+	defer m.wg.Done()
+	interval := m.opts.JobRetention / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			m.gc(now)
+		case <-m.gcStop:
+			return
+		}
+	}
+}
+
+// gc prunes jobs that have been terminal longer than the retention
+// horizon, keeping the job table bounded on a long-lived daemon.
+// Queued and running jobs are never pruned, whatever their age. Done
+// executions left unreferenced by the pruning are dropped from the
+// in-memory cache only when the durable store still holds their
+// report (so a later identical submit is a store hit, not a re-run);
+// without a store the execution cache keeps them, preserving the
+// original dedup behavior. Returns the number of jobs retired.
+func (m *Manager) gc(now time.Time) int {
+	if m.opts.JobRetention <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-m.opts.JobRetention)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	retired := 0
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if at, terminal := j.terminalAt(); terminal && at.Before(cutoff) {
+			delete(m.jobs, id)
+			retired++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+	if retired == 0 {
+		return 0
+	}
+	m.Metrics.Retired.Add(uint64(retired))
+	if m.opts.Store != nil {
+		referenced := make(map[*execution]bool, len(m.jobs))
+		for _, j := range m.jobs {
+			referenced[j.exec] = true
+		}
+		for d, e := range m.cache {
+			if !referenced[e] && e.getState() == StateDone && m.opts.Store.Contains(d) {
+				delete(m.cache, d)
+			}
+		}
+	}
+	return retired
+}
+
 // Draining reports whether shutdown has begun.
 func (m *Manager) Draining() bool {
 	m.mu.Lock()
@@ -310,15 +485,21 @@ func (m *Manager) Draining() bool {
 }
 
 // Shutdown drains the manager: new submits are rejected with
-// ErrDraining immediately, queued and running executions finish, and
-// Shutdown returns when the pool is idle. If ctx expires first the
-// remaining executions are canceled (they stop at their next stage
-// boundary) and ctx's error is returned after the pool exits.
+// ErrDraining immediately, queued and running executions finish, the
+// retention sweeper stops, and Shutdown returns when the pool is
+// idle. If ctx expires first the remaining executions are canceled
+// (they stop at their next stage boundary) and ctx's error is
+// returned after the pool exits. The durable store is closed last —
+// after every in-flight finish() has had its chance to persist — so
+// drained work survives to the next boot.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
 		m.draining = true
 		close(m.queue)
+		if m.gcStop != nil {
+			close(m.gcStop)
+		}
 	}
 	m.mu.Unlock()
 
@@ -327,9 +508,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(idle)
 	}()
+	var err error
 	select {
 	case <-idle:
-		return nil
 	case <-ctx.Done():
 		m.mu.Lock()
 		for _, e := range m.cache {
@@ -339,8 +520,12 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		}
 		m.mu.Unlock()
 		<-idle
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if m.opts.Store != nil {
+		m.opts.Store.Close()
+	}
+	return err
 }
 
 // worker drains the submit queue until Shutdown closes it.
@@ -387,9 +572,10 @@ func (m *Manager) safeRun(e *execution) (report []byte, err error) {
 }
 
 // finish moves an execution to its terminal state, emits the terminal
-// event, updates counters, and — for anything but success — evicts the
-// digest from the cache so a later identical submit retries instead of
-// inheriting the failure.
+// event, updates counters, persists successful reports to the durable
+// store, and — for anything but success — evicts the digest from the
+// cache so a later identical submit retries instead of inheriting the
+// failure.
 func (m *Manager) finish(e *execution, report []byte, err error) {
 	e.mu.Lock()
 	switch {
@@ -403,8 +589,16 @@ func (m *Manager) finish(e *execution, report []byte, err error) {
 		e.state = StateDone
 		e.report = report
 	}
+	e.finishedAt = time.Now()
 	state := e.state
 	e.mu.Unlock()
+
+	if state == StateDone && m.opts.Store != nil {
+		// Best-effort durability: a failed Put (disk full, permissions)
+		// only costs a re-run after the next restart; the in-memory
+		// cache still serves this process.
+		m.opts.Store.Put(e.digest, report)
+	}
 
 	switch state {
 	case StateDone:

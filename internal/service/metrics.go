@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/resultstore"
 	"repro/internal/units"
 )
 
@@ -27,6 +28,9 @@ type Metrics struct {
 	Failed    atomic.Uint64
 	Canceled  atomic.Uint64
 
+	// Retired counts terminal jobs pruned by retention GC.
+	Retired atomic.Uint64
+
 	// Live state.
 	Running atomic.Int64
 
@@ -45,8 +49,10 @@ func (m *Metrics) addStageTime(phase string, d units.Seconds) {
 }
 
 // WriteTo writes the exposition text. Lines are sorted so scrapes are
-// stable; queueDepth and cacheEntries are gauges the manager samples.
-func (m *Metrics) WriteTo(w io.Writer, queueDepth, cacheEntries int) {
+// stable; queueDepth, cacheEntries, and jobs are gauges the manager
+// samples, and store carries the durable result store's counters
+// (all-zero when no store is configured).
+func (m *Metrics) WriteTo(w io.Writer, queueDepth, cacheEntries, jobs int, store resultstore.Stats) {
 	fmt.Fprintf(w, "greenvizd_cache_entries %d\n", cacheEntries)
 	fmt.Fprintf(w, "greenvizd_cache_hits_total %d\n", m.CacheHits.Load())
 	fmt.Fprintf(w, "greenvizd_executions_total %d\n", m.Executions.Load())
@@ -55,9 +61,17 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, cacheEntries int) {
 	fmt.Fprintf(w, "greenvizd_jobs_deduped_total %d\n", m.Deduped.Load())
 	fmt.Fprintf(w, "greenvizd_jobs_failed_total %d\n", m.Failed.Load())
 	fmt.Fprintf(w, "greenvizd_jobs_rejected_total %d\n", m.Rejected.Load())
+	fmt.Fprintf(w, "greenvizd_jobs_retired_total %d\n", m.Retired.Load())
 	fmt.Fprintf(w, "greenvizd_jobs_running %d\n", m.Running.Load())
 	fmt.Fprintf(w, "greenvizd_jobs_submitted_total %d\n", m.Submitted.Load())
+	fmt.Fprintf(w, "greenvizd_jobs_tracked %d\n", jobs)
 	fmt.Fprintf(w, "greenvizd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "greenvizd_store_bytes %d\n", store.Bytes)
+	fmt.Fprintf(w, "greenvizd_store_corruptions_total %d\n", store.Corruptions)
+	fmt.Fprintf(w, "greenvizd_store_entries %d\n", store.Entries)
+	fmt.Fprintf(w, "greenvizd_store_evictions_total %d\n", store.Evictions)
+	fmt.Fprintf(w, "greenvizd_store_hits_total %d\n", store.Hits)
+	fmt.Fprintf(w, "greenvizd_store_misses_total %d\n", store.Misses)
 
 	m.mu.Lock()
 	phases := make([]string, 0, len(m.stageSeconds))

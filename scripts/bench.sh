@@ -6,10 +6,12 @@
 # Three passes feed one JSON file:
 #
 #   1. The comparison pass: the hot-path micro-benchmarks (render,
-#      checkpoint encode, fault hooks, nil-observer stage dispatch)
-#      and the greenvizd service-layer benchmarks, at the default
-#      GOMAXPROCS with a time-based benchtime so the numbers are
-#      steady-state. Each benchmark runs COUNT (default 3) times and
+#      checkpoint encode, fault hooks, nil-observer stage dispatch),
+#      the greenvizd service-layer benchmarks, and the result-store
+#      pass (warm-hit read+CRC-verify latency vs. the cold durable
+#      write path, plus steady-state LRU eviction throughput), at the
+#      default GOMAXPROCS with a time-based benchtime so the numbers
+#      are steady-state. Each benchmark runs COUNT (default 3) times and
 #      the minimum ns/op is recorded — min-of-N is far more stable
 #      than a single sample against scheduler noise, which is what
 #      makes bench_compare's 10% gate usable. Names are recorded bare
@@ -32,15 +34,15 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 raw="$(mktemp)"
 rawk="$(mktemp)"
 trap 'rm -f "$raw" "$rawk"' EXIT
 
 go test -run '^$' \
-    -bench '^(BenchmarkRender|BenchmarkCheckpointEncode|BenchmarkHooksDisabled|BenchmarkHooksEnabled|BenchmarkDoNilObserver|BenchmarkServiceThroughput|BenchmarkSubmitDedup|BenchmarkSpecDigest)$' \
+    -bench '^(BenchmarkRender|BenchmarkCheckpointEncode|BenchmarkHooksDisabled|BenchmarkHooksEnabled|BenchmarkDoNilObserver|BenchmarkServiceThroughput|BenchmarkSubmitDedup|BenchmarkSpecDigest|BenchmarkStoreGetHit|BenchmarkStorePutCold|BenchmarkStoreEvict)$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" -count "${COUNT:-3}" \
-    . ./internal/fault ./internal/core/stagegraph ./internal/service | tee "$raw"
+    . ./internal/fault ./internal/core/stagegraph ./internal/service ./internal/resultstore | tee "$raw"
 
 go test -run '^$' \
     -bench '^(BenchmarkSuiteAllSerial|BenchmarkSuiteAllParallel)$' \

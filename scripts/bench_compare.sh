@@ -3,7 +3,7 @@
 #
 # Usage: scripts/bench_compare.sh [new.json] [baseline.json]
 #
-# new.json defaults to BENCH_pr6.json; the baseline defaults to the
+# new.json defaults to BENCH_pr7.json; the baseline defaults to the
 # newest committed BENCH_*.json other than new.json (by PR number).
 # Benchmarks are matched by name; ones present in only one file are
 # reported but don't fail the check (new kernels have no baseline, and
@@ -17,7 +17,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-new="${1:-BENCH_pr6.json}"
+new="${1:-BENCH_pr7.json}"
 base="${2:-}"
 threshold="${THRESHOLD:-10}"
 
