@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench clean
+.PHONY: build test check static bench clean
 
 build:
 	$(GO) build ./...
@@ -8,19 +8,23 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full pre-merge gate: formatting, vet, build (library,
-# CLI, daemon, and examples), the test suite under the race detector
-# (including the greenvizd API tests), the daemon smoke test (builds
-# the real binary, submits fig4 over HTTP, and diffs the served report
-# against the committed golden digest), the golden-output regression
-# suite (runs without race — the full experiment suite is infeasible
-# under the detector, so it is skipped there and must run here
-# explicitly), and a short fuzz pass over the checkpoint decoder
-# (seeds plus 10s of mutation).
-check:
+# static is the analysis gate on its own: gofmt (no unformatted files)
+# and go vet. Runs in seconds; use it as the fast pre-commit check.
+static:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
+
+# check is the full pre-merge gate: the static-analysis gate, build
+# (library, CLI, daemon, and examples), the test suite under the race
+# detector (including the greenvizd API tests), the daemon smoke test
+# (builds the real binary, submits fig4 over HTTP, and diffs the served
+# report against the committed golden digest), the golden-output
+# regression suite (runs without race — the full experiment suite is
+# infeasible under the detector, so it is skipped there and must run
+# here explicitly), and a short fuzz pass over the checkpoint decoder
+# (seeds plus 10s of mutation).
+check: static
 	$(GO) build ./...
 	$(GO) build ./examples/...
 	$(GO) test -race -timeout 45m ./...
@@ -36,7 +40,7 @@ golden:
 golden-update:
 	$(GO) test -run '^TestGolden' -timeout 30m -update ./internal/experiments
 
-# bench records the benchmark set into BENCH_pr7.json.
+# bench records the benchmark set into BENCH_pr8.json.
 bench:
 	scripts/bench.sh
 
@@ -52,4 +56,4 @@ bench-check:
 clean:
 	rm -f greenviz greenvizd BENCH_check.json \
 		BENCH_pr1.json BENCH_pr2.json BENCH_pr4.json BENCH_pr6.json \
-		BENCH_pr7.json
+		BENCH_pr7.json BENCH_pr8.json

@@ -53,6 +53,7 @@ func main() {
 		device    = flag.String("device", "hdd", "storage device: "+strings.Join(greenviz.DeviceFlags(), ", "))
 		caseIdx   = flag.Int("case", 1, "case study number (1..3)")
 		framesDir = flag.String("frames", "", "directory to dump rendered PNG frames (pipeline mode)")
+		events    = flag.Bool("events", false, "narrate the run's telemetry stream (stages, retries, faults) on stderr (pipeline mode)")
 		format    = flag.String("format", "text", "pipeline-mode output format: text, json (the service's report encoding)")
 		quiet     = flag.Bool("quiet", false, "suppress the per-experiment wall-time progress on stderr")
 	)
@@ -75,7 +76,7 @@ func main() {
 	}
 
 	if *pipeline != "" {
-		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *kernWorkers, *framesDir, *format, faultCfg); err != nil {
+		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *kernWorkers, *framesDir, *format, faultCfg, *events); err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
 			os.Exit(1)
 		}

@@ -12,7 +12,7 @@ import (
 // -pipeline mode) and prints its measurements: human-readable text by
 // default, or (-format json) the canonical RunResult encoding — the
 // same bytes the greenvizd service serves as a pipeline job's report.
-func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSubsteps, kernelWorkers int, framesDir, format string, faults *greenviz.FaultConfig) error {
+func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSubsteps, kernelWorkers int, framesDir, format string, faults *greenviz.FaultConfig, events bool) error {
 	// Device and app names resolve through the same presets the service
 	// uses, so CLI and API runs of equal configurations are identical.
 	platform, err := greenviz.PlatformByFlag(device)
@@ -34,6 +34,11 @@ func runPipeline(pipeline, app, device string, caseIdx int, seed uint64, realSub
 	cfg.KernelWorkers = kernelWorkers
 	if err := greenviz.ConfigureApp(&cfg, app); err != nil {
 		return err
+	}
+	// -events narrates the telemetry stream to stderr; stdout bytes are
+	// unaffected (consumers observe runs, they never alter them).
+	if events {
+		cfg.Telemetry = &eventPrinter{w: os.Stderr}
 	}
 
 	cases := greenviz.CaseStudies()

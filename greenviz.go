@@ -14,6 +14,7 @@ import (
 	"repro/internal/ocean"
 	"repro/internal/pfs"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/viz"
 )
@@ -290,6 +291,35 @@ type RecoveryStats = core.RecoveryStats
 // (Config.Retry); its zero value means 3 attempts with a 0.5 s initial
 // simulated-time backoff.
 type RetryPolicy = core.RetryPolicy
+
+// TelemetryEvent is one typed event from a run's telemetry stream:
+// run/stage boundaries, energy samples, fault injections, and retry
+// attempts, all on the shared timeline. Set Config.Telemetry to
+// receive the stream; consumers are synchronous and must not retain
+// references into the run.
+type TelemetryEvent = telemetry.Event
+
+// TelemetryConsumer receives every TelemetryEvent a run emits
+// (Config.Telemetry).
+type TelemetryConsumer = telemetry.Consumer
+
+// TelemetryConsumerFunc adapts a function to TelemetryConsumer.
+type TelemetryConsumerFunc = telemetry.ConsumerFunc
+
+// TelemetryKind discriminates TelemetryEvent payloads.
+type TelemetryKind = telemetry.Kind
+
+// The telemetry event kinds.
+const (
+	TelemetryRunStart      = telemetry.KindRunStart
+	TelemetryStageStart    = telemetry.KindStageStart
+	TelemetryStageDone     = telemetry.KindStageDone
+	TelemetryEnergySample  = telemetry.KindEnergySample
+	TelemetryFaultInjected = telemetry.KindFaultInjected
+	TelemetryRetryAttempt  = telemetry.KindRetryAttempt
+	TelemetryRunEnd        = telemetry.KindRunEnd
+	TelemetrySeriesDefine  = telemetry.KindSeriesDefine
+)
 
 // ParseFaultSpec parses the CLI's -faults syntax: comma-separated
 // key=value pairs among bitrot, readerr, writeerr, latency, drop

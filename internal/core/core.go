@@ -25,6 +25,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/heat"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/viz"
 )
@@ -230,12 +231,14 @@ type AppConfig struct {
 	// Retry bounds the recovery from injected (or real) transient
 	// storage errors; the zero value gets sensible defaults.
 	Retry RetryPolicy
-	// Observer, when set, receives the stage-graph engine's progress
-	// callbacks for every run under this config (the service daemon
-	// streams them as per-stage job events). Nil — the default — is
-	// zero-cost and side-effect-free; like NewSimulator and Store it is
-	// excluded from CanonicalDigest.
-	Observer stagegraph.Observer
+	// Telemetry, when set, is attached to every run's telemetry bus —
+	// after the stock accountants — and receives the full event stream:
+	// run and stage boundaries, energy samples, fault injections, and
+	// retry attempts (the service daemon streams these as per-stage job
+	// events and metrics). Nil — the default — is zero-cost and
+	// side-effect-free; like NewSimulator and Store it is excluded from
+	// CanonicalDigest.
+	Telemetry telemetry.Consumer
 }
 
 // RetryPolicy bounds the recovery from recoverable storage errors;

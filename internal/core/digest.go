@@ -16,11 +16,12 @@ import (
 // determines a run's output: solver parameters, compute and payload
 // sizing, render options, the checkpoint policy and knobs, fault
 // injection, and the retry policy. Behavioral extension points that
-// cannot be canonicalized — NewSimulator, Store, Observer — contribute
+// cannot be canonicalized — NewSimulator, Store, Telemetry — contribute
 // only their presence: callers substituting custom behavior must fold
 // its identity into their own cache key (the service includes the app
-// name it wired, for example). Observers are excluded entirely: they
-// are side-effect-free by contract and never change run output.
+// name it wired, for example). Telemetry consumers are excluded
+// entirely: they are side-effect-free by contract and never change run
+// output.
 
 // CanonicalDigest returns a stable hex-encoded SHA-256 fingerprint of
 // the configuration. Equal digests mean the configs drive

@@ -4,17 +4,9 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/core/stagegraph"
 	"repro/internal/fault"
-	"repro/internal/units"
+	"repro/internal/telemetry"
 )
-
-// nopObserver is the minimal observer used to verify digest exclusion.
-type nopObserver struct{}
-
-func (*nopObserver) RunStart(stagegraph.Spec)                                 {}
-func (*nopObserver) StageDone(stagegraph.Stage, units.Seconds, units.Seconds) {}
-func (*nopObserver) RunEnd(stagegraph.Spec)                                   {}
 
 func TestCanonicalDigestStable(t *testing.T) {
 	a := DefaultAppConfig()
@@ -52,15 +44,15 @@ func TestCanonicalDigestSensitivity(t *testing.T) {
 	}
 }
 
-// TestCanonicalDigestIgnoresObserver pins the exclusion contract:
-// attaching an observer (or disabled faults) must not move a config to
-// a different cache slot — the run output is identical.
-func TestCanonicalDigestIgnoresObserver(t *testing.T) {
+// TestCanonicalDigestIgnoresTelemetry pins the exclusion contract:
+// attaching a telemetry consumer (or disabled faults) must not move a
+// config to a different cache slot — the run output is identical.
+func TestCanonicalDigestIgnoresTelemetry(t *testing.T) {
 	base := DefaultAppConfig()
-	withObs := DefaultAppConfig()
-	withObs.Observer = &nopObserver{}
-	if base.CanonicalDigest() != withObs.CanonicalDigest() {
-		t.Error("observer changed the digest; it must be excluded")
+	withTel := DefaultAppConfig()
+	withTel.Telemetry = telemetry.ConsumerFunc(func(telemetry.Event) {})
+	if base.CanonicalDigest() != withTel.CanonicalDigest() {
+		t.Error("telemetry consumer changed the digest; it must be excluded")
 	}
 	withOff := DefaultAppConfig()
 	withOff.Faults = &fault.Config{} // all-zero rates: injection off

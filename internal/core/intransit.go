@@ -10,6 +10,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/viz"
 )
@@ -82,14 +83,24 @@ func RunOnCluster(c *Cluster, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResul
 		},
 		c: c,
 	}
-	ledger := stagegraph.NewLedger(nil)
-	r.res = &RunResult{
-		Pipeline:  p,
-		Case:      cs,
-		StageTime: ledger.StageTime,
+	// Cluster runs carry a telemetry bus too, but with no instruments
+	// attached: the ledger accounts stage time (and sim-node stage
+	// energy — the engine's clock is the sim node) and the caller's
+	// consumer streams progress; there is no recorder, so Profile stays
+	// nil as before.
+	tel := telemetry.NewBus()
+	ledger := stagegraph.NewLedger()
+	tel.Attach(ledger)
+	if cfg.Telemetry != nil {
+		tel.Attach(cfg.Telemetry)
 	}
-	eng := stagegraph.New(c.Sim, ledger, cfg.Retry)
-	eng.Observer = cfg.Observer
+	r.res = &RunResult{
+		Pipeline:    p,
+		Case:        cs,
+		StageTime:   ledger.StageTime,
+		StageEnergy: ledger.StageEnergy,
+	}
+	eng := stagegraph.New(c.Sim, tel, cfg.Retry)
 
 	startT := c.Engine.Now()
 	simE0 := c.Sim.SystemEnergy()

@@ -36,8 +36,14 @@ type RunResult struct {
 	PeakPower units.Watts `json:"peak_power_watts"`
 
 	// StageTime sums phase durations per stage (Fig. 4); it is the
-	// stage-graph engine's time ledger.
+	// stage-graph engine's time ledger, folded from StageDone telemetry.
 	StageTime map[string]units.Seconds `json:"stage_seconds"`
+	// StageEnergy sums metered full-system energy per stage, from the
+	// energy brackets on the same StageDone events — the per-phase
+	// attribution behind the paper's dynamic-vs-static argument. For
+	// cluster runs the engine's clock is the simulation node, so the
+	// attribution covers that node only.
+	StageEnergy map[string]units.Joules `json:"stage_energy_joules"`
 
 	// Frames is the number of visualization events performed;
 	// FrameChecksum fingerprints the rendered PNGs so tests can verify

@@ -9,6 +9,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/node"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/viz"
 )
@@ -50,23 +51,38 @@ func Run(n *node.Node, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResult {
 		solver: newSimulator(cfg),
 		hash:   fnv.New64a(),
 	}
+	// One telemetry bus carries the whole run: the engine's stage
+	// boundaries and retries, the fault injector's firings, and the
+	// instrument samples all fan out to the accountants attached below.
+	tel := telemetry.NewBus()
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		r.faults = fault.New(*cfg.Faults)
+		r.faults.AttachTelemetry(tel)
 		n.InstallFaults(r.faults)
 		if sink, ok := cfg.Store.(FaultSink); ok {
 			sink.SetFaults(r.faults)
 		}
 	}
-	inst := n.NewInstruments(fmt.Sprintf("%s/%s", p, cs.Name))
-	ledger := stagegraph.NewLedger(inst.Profile)
-	r.res = &RunResult{
-		Pipeline:  p,
-		Case:      cs,
-		Profile:   inst.Profile,
-		StageTime: ledger.StageTime,
+	// NewInstruments attaches the trace recorder (series + phases).
+	inst := n.NewInstruments(fmt.Sprintf("%s/%s", p, cs.Name), tel)
+	ledger := stagegraph.NewLedger()
+	tel.Attach(ledger)
+	meter := &meterSummary{}
+	tel.Attach(meter)
+	// The caller's consumer (progress streaming, cancellation) attaches
+	// last so the stock accountants have already seen each event when it
+	// fires — and a cancellation panic never leaves them half-updated.
+	if cfg.Telemetry != nil {
+		tel.Attach(cfg.Telemetry)
 	}
-	eng := stagegraph.New(n, ledger, cfg.Retry)
-	eng.Observer = cfg.Observer
+	r.res = &RunResult{
+		Pipeline:    p,
+		Case:        cs,
+		Profile:     inst.Profile,
+		StageTime:   ledger.StageTime,
+		StageEnergy: ledger.StageEnergy,
+	}
+	eng := stagegraph.New(n, tel, cfg.Retry)
 
 	startT := n.Now()
 	startE := n.SystemEnergy()
@@ -83,7 +99,7 @@ func Run(n *node.Node, p Pipeline, cs CaseStudy, cfg AppConfig) *RunResult {
 	res := r.res
 	res.ExecTime = n.Now() - startT
 	res.Energy = n.SystemEnergy() - startE
-	res.MeasuredEnergy, res.AvgPower, res.PeakPower = summarizeMeter(inst.Profile)
+	res.MeasuredEnergy, res.AvgPower, res.PeakPower = meter.summary()
 	res.FrameChecksum = r.hash.Sum64()
 	d1 := n.DiskStats()
 	res.BytesWritten = d1.BytesWritten - d0.BytesWritten

@@ -109,7 +109,7 @@ func (r *runner) postProgram(x *stagegraph.Exec) {
 			// conditions.
 			x.Do(stgRecover, func() {
 				g, step, simTime = r.resimulate(c.iter)
-				x.Recovery().Resimulations++
+				x.Resimulated()
 			})
 		}
 		x.Do(stgRenderRestored, func() {

@@ -38,7 +38,7 @@ func CharacterizeStages(n *node.Node, cfg AppConfig, events int) StageCharacteri
 		panic("core: CharacterizeStages needs at least one event")
 	}
 	solver := newWarmSolver(cfg)
-	inst := n.NewInstruments("stage-characterization")
+	inst := n.NewInstruments("stage-characterization", nil)
 	out := StageCharacterization{Profile: inst.Profile}
 
 	// Idle baseline first: a quiet window with only the instruments on.

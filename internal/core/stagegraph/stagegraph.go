@@ -5,9 +5,12 @@
 // Barrier, ReadCheckpoint, Render, FrameFlush, NetTransfer, Recover —
 // each declaring the values it consumes and produces and the resource
 // (node, disk, link) it occupies. One Engine executes every spec and
-// owns the cross-cutting concerns uniformly: stage timing, trace
-// phase annotation, the per-stage time ledger, and the bounded
-// retry/backoff recovery policy with its recovery ledger.
+// emits every cross-cutting concern — stage boundaries with their
+// virtual-time and metered-energy brackets, and the bounded
+// retry/backoff recovery actions — as telemetry events; accountants
+// (the per-stage Ledger in this package, trace annotation, progress
+// streams, metrics) subscribe to the run's telemetry.Bus instead of
+// being wired into the engine.
 //
 // The design follows the task-graph workflow modeling of faithful
 // in-situ simulation frameworks (SIM-SITU, arXiv:2112.15067) and
@@ -20,7 +23,7 @@ package stagegraph
 import (
 	"fmt"
 
-	"repro/internal/trace"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -194,87 +197,107 @@ type Clock interface {
 	Idle(units.Seconds)
 }
 
-// Observer receives engine progress callbacks: one RunStart/RunEnd
-// pair per executed spec, and one StageDone per timed stage execution
-// (untimed glue stages are invisible, exactly like the time ledger).
-// Callbacks fire synchronously on the run's goroutine, in execution
-// order, with the engine's virtual timestamps.
-//
-// A nil Engine.Observer — the default everywhere outside the service
-// daemon — is zero-cost and side-effect-free: the hot path pays one
-// nil check and nothing else (guarded by a 0 allocs/op regression
-// test). Observers must not mutate the stage or the engine; they may
-// panic to abort a run from the outside (e.g. job cancellation), and
-// the panic propagates unwrapped through Engine.Run to the caller.
-type Observer interface {
-	// RunStart fires after the spec validates, before its program runs.
-	RunStart(spec Spec)
-	// StageDone fires after each timed stage execution with the
-	// execution's virtual start and end times.
-	StageDone(st Stage, start, end units.Seconds)
-	// RunEnd fires when the spec's program returns normally.
-	RunEnd(spec Spec)
+// EnergyReader is the optional meter a clock can expose. When the
+// engine's clock also reads cumulative system energy (node.Node does),
+// every StageDone event carries the stage's energy bracket, giving
+// consumers per-stage energy attribution for free.
+type EnergyReader interface {
+	SystemEnergy() units.Joules
 }
 
-// Ledger receives what the engine accounts per run: the optional
-// trace profile stage executions annotate, the accumulated per-phase
-// time, and the recovery counters.
+// Ledger is the engine's stock accountant: a telemetry consumer that
+// folds StageDone events into per-stage time and energy totals and
+// RetryAttempt events into recovery counters. It holds no reference to
+// the engine — attach it to the run's bus like any other consumer.
 type Ledger struct {
-	// Profile, when non-nil, gets one MarkPhase interval per annotated
-	// stage execution (unannotated runs — e.g. uninstrumented cluster
-	// runs — leave it nil).
-	Profile *trace.Profile
 	// StageTime accumulates execution time per phase name.
 	StageTime map[string]units.Seconds
+	// StageEnergy accumulates metered energy per phase name; it stays
+	// empty when the run's clock exposes no meter.
+	StageEnergy map[string]units.Joules
 	// Recovery accounts the retries, losses, and backoff the engine's
 	// recovery policy performed.
 	Recovery RecoveryStats
 }
 
-// NewLedger returns a ledger accumulating into the given profile
-// (which may be nil).
-func NewLedger(profile *trace.Profile) *Ledger {
-	return &Ledger{Profile: profile, StageTime: map[string]units.Seconds{}}
-}
-
-// Engine executes pipeline specs on one virtual clock. It owns every
-// cross-cutting concern the monolithic pipelines used to hand-roll:
-// stage timing and trace-phase annotation (Do), and the bounded
-// retry/backoff recovery policy with its ledger (WriteRetry,
-// ReadRetry).
-type Engine struct {
-	Clock  Clock
-	Ledger *Ledger
-	Retry  RetryPolicy
-	// Observer, when non-nil, receives run and stage progress
-	// callbacks; nil costs nothing (see Observer).
-	Observer Observer
-
-	spec *Spec
-}
-
-// New builds an engine. The retry policy is defaulted.
-func New(clock Clock, ledger *Ledger, retry RetryPolicy) *Engine {
-	if clock == nil || ledger == nil {
-		panic("stagegraph: engine needs a clock and a ledger")
+// NewLedger returns an empty ledger ready to attach to a bus.
+func NewLedger() *Ledger {
+	return &Ledger{
+		StageTime:   map[string]units.Seconds{},
+		StageEnergy: map[string]units.Joules{},
 	}
-	return &Engine{Clock: clock, Ledger: ledger, Retry: retry.WithDefaults()}
+}
+
+// Consume implements telemetry.Consumer.
+func (l *Ledger) Consume(ev telemetry.Event) {
+	switch ev.Kind {
+	case telemetry.KindStageDone:
+		l.StageTime[ev.Stage] += ev.End - ev.Start
+		if ev.HasEnergy {
+			l.StageEnergy[ev.Stage] += ev.EndEnergy - ev.StartEnergy
+		}
+	case telemetry.KindRetryAttempt:
+		switch ev.Op {
+		case telemetry.RetryWrite:
+			l.Recovery.WriteRetries++
+		case telemetry.RetryRead:
+			l.Recovery.ReadRetries++
+		case telemetry.RetryLostWrite:
+			l.Recovery.LostWrites++
+		case telemetry.RetryResimulate:
+			l.Recovery.Resimulations++
+		}
+		l.Recovery.BackoffTime += ev.Backoff
+	}
+}
+
+// Engine executes pipeline specs on one virtual clock and narrates
+// them onto one telemetry bus: run boundaries, timed stage executions
+// (with energy brackets when the clock meters energy), and every
+// recovery action under the bounded retry/backoff policy.
+type Engine struct {
+	Clock Clock
+	// Bus receives the engine's events. With no consumers attached the
+	// hot path pays one branch and nothing else (guarded by a
+	// 0 allocs/op regression test).
+	Bus   *telemetry.Bus
+	Retry RetryPolicy
+
+	meter EnergyReader // Clock's meter view, nil if it has none
+	spec  *Spec
+}
+
+// New builds an engine emitting into bus (nil means an inert private
+// bus). The retry policy is defaulted. If clock also implements
+// EnergyReader, stage events carry energy brackets.
+func New(clock Clock, bus *telemetry.Bus, retry RetryPolicy) *Engine {
+	if clock == nil {
+		panic("stagegraph: engine needs a clock")
+	}
+	if bus == nil {
+		bus = telemetry.NewBus()
+	}
+	meter, _ := clock.(EnergyReader)
+	return &Engine{Clock: clock, Bus: bus, Retry: retry.WithDefaults(), meter: meter}
 }
 
 // Run validates the spec and executes its program. The program emits
-// stage executions through the Exec it receives.
+// stage executions through the Exec it receives. A consumer panic
+// (e.g. job cancellation) propagates unwrapped to the caller.
 func (e *Engine) Run(s Spec) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
 	e.spec = &s
 	defer func() { e.spec = nil }()
-	if e.Observer != nil {
-		e.Observer.RunStart(s)
+	if e.Bus.Active() {
+		now := e.Clock.Now()
+		e.Bus.Emit(telemetry.Event{Kind: telemetry.KindRunStart, Run: s.Name, Start: now, End: now})
 	}
 	s.Program(&Exec{eng: e})
-	if e.Observer != nil {
-		e.Observer.RunEnd(s)
+	if e.Bus.Active() {
+		now := e.Clock.Now()
+		e.Bus.Emit(telemetry.Event{Kind: telemetry.KindRunEnd, Run: s.Name, Start: now, End: now})
 	}
 	return nil
 }
@@ -286,46 +309,69 @@ type Exec struct {
 }
 
 // Do executes one instance of stage st: body runs on the virtual
-// clock, and the engine annotates the interval with the stage's phase
-// and accumulates it into the per-stage time ledger. Executing a
+// clock, and the engine brackets the interval in a StageStart/StageDone
+// event pair carrying the stage's phase, kind, binding, virtual times,
+// and — when the clock meters energy — its energy bracket. Executing a
 // stage the current spec does not declare panics — the declared graph
 // is the contract.
 func (x *Exec) Do(st Stage, body func()) {
 	e := x.eng
 	if e.spec != nil && !e.spec.declares(st) {
 		// The branch-local copy keeps st itself from escaping: handing st
-		// straight to fmt (or the observer below) makes every Do call
-		// heap-copy the Stage even when the cold branch never runs.
+		// straight to fmt makes every Do call heap-copy the Stage even
+		// when the cold branch never runs.
 		bad := st
 		panic(fmt.Sprintf("stagegraph: spec %q executed undeclared stage %s/%s (%s)",
 			e.spec.Name, bad.Kind, bad.Phase, bad.Binding))
 	}
-	if st.Phase == "" {
+	if st.Phase == "" || !e.Bus.Active() {
+		// Untimed glue, or nobody listening: the clock reads would be
+		// discarded (Now is a pure read on every production clock), so
+		// skip them and the event construction entirely. This is the
+		// 0 allocs/op no-consumer path.
 		body()
 		return
 	}
 	start := e.Clock.Now()
+	var startE units.Joules
+	if e.meter != nil {
+		startE = e.meter.SystemEnergy()
+	}
+	e.Bus.Emit(telemetry.Event{
+		Kind:      telemetry.KindStageStart,
+		Stage:     st.Phase,
+		StageKind: string(st.Kind),
+		On:        st.Binding.On,
+		Start:     start,
+	})
 	body()
 	end := e.Clock.Now()
-	if e.Ledger.Profile != nil {
-		e.Ledger.Profile.MarkPhase(st.Phase, start, end)
+	done := telemetry.Event{
+		Kind:      telemetry.KindStageDone,
+		Stage:     st.Phase,
+		StageKind: string(st.Kind),
+		On:        st.Binding.On,
+		Start:     start,
+		End:       end,
 	}
-	e.Ledger.StageTime[st.Phase] += end - start
-	if e.Observer != nil {
-		observed := st
-		e.Observer.StageDone(observed, start, end)
+	if e.meter != nil {
+		done.StartEnergy = startE
+		done.EndEnergy = e.meter.SystemEnergy()
+		done.HasEnergy = true
 	}
+	e.Bus.Emit(done)
 }
 
 // backoff charges the exponential simulated-time wait before retry
 // attempt number attempt (1-based): Backoff, 2*Backoff, 4*Backoff...
 // The clock sits idle — the time and its static energy land on the
-// run's ledgers like any other stall.
-func (x *Exec) backoff(attempt int) {
+// run's ledgers like any other stall. Returns the charged wait so the
+// retry event can carry it.
+func (x *Exec) backoff(attempt int) units.Seconds {
 	e := x.eng
 	d := e.Retry.Backoff * units.Seconds(int64(1)<<uint(attempt-1))
 	e.Clock.Idle(d)
-	e.Ledger.Recovery.BackoffTime += d
+	return d
 }
 
 // WriteRetry runs write under the retry budget and reports whether it
@@ -334,12 +380,17 @@ func (x *Exec) WriteRetry(write func() error) bool {
 	e := x.eng
 	err := write()
 	for attempt := 1; err != nil && attempt < e.Retry.MaxAttempts; attempt++ {
-		x.backoff(attempt)
-		e.Ledger.Recovery.WriteRetries++
+		d := x.backoff(attempt)
+		e.Bus.Emit(telemetry.Event{
+			Kind:    telemetry.KindRetryAttempt,
+			Op:      telemetry.RetryWrite,
+			Attempt: attempt,
+			Backoff: d,
+		})
 		err = write()
 	}
 	if err != nil {
-		e.Ledger.Recovery.LostWrites++
+		e.Bus.Emit(telemetry.Event{Kind: telemetry.KindRetryAttempt, Op: telemetry.RetryLostWrite})
 		return false
 	}
 	return true
@@ -353,13 +404,21 @@ func (x *Exec) ReadRetry(read func() error) bool {
 	e := x.eng
 	err := read()
 	for attempt := 1; err != nil && attempt < e.Retry.MaxAttempts; attempt++ {
-		x.backoff(attempt)
-		e.Ledger.Recovery.ReadRetries++
+		d := x.backoff(attempt)
+		e.Bus.Emit(telemetry.Event{
+			Kind:    telemetry.KindRetryAttempt,
+			Op:      telemetry.RetryRead,
+			Attempt: attempt,
+			Backoff: d,
+		})
 		err = read()
 	}
 	return err == nil
 }
 
-// Recovery exposes the engine's recovery ledger to stage bodies that
-// record recoveries themselves (e.g. a re-simulation stage).
-func (x *Exec) Recovery() *RecoveryStats { return &x.eng.Ledger.Recovery }
+// Resimulated records one checkpoint recomputed from initial
+// conditions, for stage bodies that perform the recovery themselves
+// (the Recover stage).
+func (x *Exec) Resimulated() {
+	x.eng.Bus.Emit(telemetry.Event{Kind: telemetry.KindRetryAttempt, Op: telemetry.RetryResimulate})
+}

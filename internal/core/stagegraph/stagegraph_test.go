@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -70,7 +71,8 @@ func TestValidateRejectsEmptySpecs(t *testing.T) {
 func TestEngineTimesAndAnnotatesStages(t *testing.T) {
 	clock := &fakeClock{}
 	prof := trace.NewProfile("test")
-	eng := New(clock, NewLedger(prof), RetryPolicy{})
+	led := NewLedger()
+	eng := New(clock, telemetry.NewBus(trace.NewRecorder(prof), led), RetryPolicy{})
 
 	err := eng.Run(testSpec(func(x *Exec) {
 		for i := 0; i < 3; i++ {
@@ -81,10 +83,10 @@ func TestEngineTimesAndAnnotatesStages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := eng.Ledger.StageTime["simulation"]; got != 6 {
+	if got := led.StageTime["simulation"]; got != 6 {
 		t.Errorf("simulation stage time = %v, want 6", got)
 	}
-	if got := eng.Ledger.StageTime["nnwrite"]; got != 3 {
+	if got := led.StageTime["nnwrite"]; got != 3 {
 		t.Errorf("nnwrite stage time = %v, want 3", got)
 	}
 	if got := prof.PhaseTime("simulation"); got != 6 {
@@ -95,23 +97,24 @@ func TestEngineTimesAndAnnotatesStages(t *testing.T) {
 	}
 }
 
-func TestEngineToleratesNilProfile(t *testing.T) {
+func TestEngineToleratesBareLedger(t *testing.T) {
 	clock := &fakeClock{}
-	eng := New(clock, NewLedger(nil), RetryPolicy{})
+	led := NewLedger()
+	eng := New(clock, telemetry.NewBus(led), RetryPolicy{})
 	err := eng.Run(testSpec(func(x *Exec) {
 		x.Do(stSim, func() { clock.now += 5 })
 	}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := eng.Ledger.StageTime["simulation"]; got != 5 {
+	if got := led.StageTime["simulation"]; got != 5 {
 		t.Errorf("stage time = %v, want 5 (uninstrumented runs still keep the ledger)", got)
 	}
 }
 
 func TestEngineRejectsUndeclaredStage(t *testing.T) {
 	clock := &fakeClock{}
-	eng := New(clock, NewLedger(nil), RetryPolicy{})
+	eng := New(clock, nil, RetryPolicy{})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("executing an undeclared stage did not panic")
@@ -124,7 +127,8 @@ func TestEngineRejectsUndeclaredStage(t *testing.T) {
 
 func TestWriteRetrySucceedsWithinBudget(t *testing.T) {
 	clock := &fakeClock{}
-	eng := New(clock, NewLedger(nil), RetryPolicy{MaxAttempts: 3, Backoff: 0.5})
+	led := NewLedger()
+	eng := New(clock, telemetry.NewBus(led), RetryPolicy{MaxAttempts: 3, Backoff: 0.5})
 	failures := 2
 	var ok bool
 	eng.Run(testSpec(func(x *Exec) { //nolint:errcheck // spec is valid
@@ -139,7 +143,7 @@ func TestWriteRetrySucceedsWithinBudget(t *testing.T) {
 	if !ok {
 		t.Fatal("write failed despite budget covering the failures")
 	}
-	rec := eng.Ledger.Recovery
+	rec := led.Recovery
 	if rec.WriteRetries != 2 || rec.LostWrites != 0 {
 		t.Errorf("recovery = %+v, want 2 retries, 0 lost", rec)
 	}
@@ -150,7 +154,8 @@ func TestWriteRetrySucceedsWithinBudget(t *testing.T) {
 }
 
 func TestWriteRetryExhaustionCountsLostWrite(t *testing.T) {
-	eng := New(&fakeClock{}, NewLedger(nil), RetryPolicy{MaxAttempts: 3, Backoff: 0.5})
+	led := NewLedger()
+	eng := New(&fakeClock{}, telemetry.NewBus(led), RetryPolicy{MaxAttempts: 3, Backoff: 0.5})
 	var ok bool
 	eng.Run(testSpec(func(x *Exec) { //nolint:errcheck // spec is valid
 		ok = x.WriteRetry(func() error { return errors.New("permanent") })
@@ -158,7 +163,7 @@ func TestWriteRetryExhaustionCountsLostWrite(t *testing.T) {
 	if ok {
 		t.Fatal("write reported success despite permanent failure")
 	}
-	rec := eng.Ledger.Recovery
+	rec := led.Recovery
 	if rec.WriteRetries != 2 || rec.LostWrites != 1 {
 		t.Errorf("recovery = %+v, want 2 retries then 1 lost write", rec)
 	}
@@ -168,13 +173,14 @@ func TestWriteRetryExhaustionCountsLostWrite(t *testing.T) {
 }
 
 func TestReadRetryNeverCountsLostWrites(t *testing.T) {
-	eng := New(&fakeClock{}, NewLedger(nil), RetryPolicy{MaxAttempts: 2, Backoff: 0.25})
+	led := NewLedger()
+	eng := New(&fakeClock{}, telemetry.NewBus(led), RetryPolicy{MaxAttempts: 2, Backoff: 0.25})
 	eng.Run(testSpec(func(x *Exec) { //nolint:errcheck // spec is valid
 		if x.ReadRetry(func() error { return errors.New("corrupt") }) {
 			t.Error("read reported success despite permanent corruption")
 		}
 	}))
-	rec := eng.Ledger.Recovery
+	rec := led.Recovery
 	if rec.ReadRetries != 1 || rec.LostWrites != 0 {
 		t.Errorf("recovery = %+v, want 1 read retry and no lost writes", rec)
 	}

@@ -24,8 +24,18 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/xrand"
+)
+
+// The telemetry source names fault classes fire under.
+const (
+	SourceBitRot       = "bitrot"
+	SourceReadError    = "readerr"
+	SourceWriteError   = "writeerr"
+	SourceLatencySpike = "latency"
+	SourceServerDrop   = "drop"
 )
 
 // ErrTransient marks an injected fault that a bounded retry can clear:
@@ -101,12 +111,37 @@ type Injector struct {
 	cfg   Config
 	rng   *xrand.Rand
 	stats Stats
+	tel   *telemetry.Bus
 }
 
 // New builds an injector for the config.
 func New(cfg Config) *Injector {
 	cfg = cfg.withDefaults()
 	return &Injector{cfg: cfg, rng: xrand.New(cfg.Seed)}
+}
+
+// AttachTelemetry routes one FaultInjected event per fired fault onto
+// bus. Emission never touches the decision stream, so an attached bus
+// leaves the fault schedule — and run output — untouched. No-op on a
+// nil receiver.
+func (i *Injector) AttachTelemetry(bus *telemetry.Bus) {
+	if i == nil {
+		return
+	}
+	i.tel = bus
+}
+
+// fired emits one FaultInjected event (source = fault class, value =
+// charged stall in seconds for classes that stall).
+func (i *Injector) fired(source string, stall units.Seconds) {
+	if !i.tel.Active() {
+		return
+	}
+	i.tel.Emit(telemetry.Event{
+		Kind:   telemetry.KindFaultInjected,
+		Source: source,
+		Value:  float64(stall),
+	})
 }
 
 // Stats returns a copy of the fired-fault counters (zero for nil).
@@ -123,6 +158,7 @@ func (i *Injector) ReadError() bool {
 		return false
 	}
 	i.stats.ReadErrors++
+	i.fired(SourceReadError, 0)
 	return true
 }
 
@@ -132,6 +168,7 @@ func (i *Injector) WriteError() bool {
 		return false
 	}
 	i.stats.WriteErrors++
+	i.fired(SourceWriteError, 0)
 	return true
 }
 
@@ -146,6 +183,7 @@ func (i *Injector) Rot(p []byte) bool {
 		p[i.rng.Intn(len(p))] ^= 1 << i.rng.Intn(8)
 	}
 	i.stats.BitRots++
+	i.fired(SourceBitRot, 0)
 	return true
 }
 
@@ -157,6 +195,7 @@ func (i *Injector) LatencySpike() units.Seconds {
 	}
 	i.stats.LatencySpikes++
 	i.stats.SpikeTime += i.cfg.Spike
+	i.fired(SourceLatencySpike, i.cfg.Spike)
 	return i.cfg.Spike
 }
 
@@ -166,6 +205,7 @@ func (i *Injector) ServerDrop() bool {
 		return false
 	}
 	i.stats.ServerDrops++
+	i.fired(SourceServerDrop, i.cfg.DropTimeout)
 	return true
 }
 

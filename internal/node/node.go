@@ -17,6 +17,7 @@ import (
 	"repro/internal/rapl"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/wattsup"
@@ -423,20 +424,33 @@ func (n *Node) StopNoise() {
 // that need their own randomness.
 func (n *Node) Rand() *xrand.Rand { return n.rng.Split() }
 
-// Instruments bundles the paper's measurement setup for one run.
+// Instruments bundles the paper's measurement setup for one run: the
+// samplers emit onto the run's telemetry bus, and a trace.Recorder
+// consumer materializes their readings into Profile.
 type Instruments struct {
-	Profile *trace.Profile
-	Meter   *wattsup.Meter
-	RAPL    *rapl.Monitor
+	Profile  *trace.Profile
+	Recorder *trace.Recorder
+	Meter    *wattsup.Meter
+	RAPL     *rapl.Monitor
 }
 
-// NewInstruments attaches a Wattsup meter and a RAPL monitor recording
-// into a fresh trace profile, mirroring the paper's Figure 3 setup.
-func (n *Node) NewInstruments(label string) *Instruments {
+// NewInstruments attaches a Wattsup meter and a RAPL monitor emitting
+// onto tel (nil means a fresh private bus), with a trace recorder
+// materializing their samples — and the engine's stage annotations —
+// into a fresh profile, mirroring the paper's Figure 3 setup. The
+// recorder is attached before the samplers are built so it sees their
+// series definitions; series order (system, rapl.PKG, rapl.DRAM) is
+// therefore stable, which fixes the trace CSV column order.
+func (n *Node) NewInstruments(label string, tel *telemetry.Bus) *Instruments {
+	if tel == nil {
+		tel = telemetry.NewBus()
+	}
 	prof := trace.NewProfile(label)
-	meter := wattsup.NewMeter(n.Engine, n.Bus, prof, wattsup.DefaultConfig(), n.rng.Split())
-	mon := rapl.NewMonitor(n.Engine, n.MSR, prof, n.Bus.Domain("package"), rapl.DefaultMonitorConfig())
-	return &Instruments{Profile: prof, Meter: meter, RAPL: mon}
+	rec := trace.NewRecorder(prof)
+	tel.Attach(rec)
+	meter := wattsup.NewMeter(n.Engine, n.Bus, tel, wattsup.DefaultConfig(), n.rng.Split())
+	mon := rapl.NewMonitor(n.Engine, n.MSR, tel, n.Bus.Domain("package"), rapl.DefaultMonitorConfig())
+	return &Instruments{Profile: prof, Recorder: rec, Meter: meter, RAPL: mon}
 }
 
 // Start begins sampling on both instruments.

@@ -136,7 +136,7 @@ func TestOSNoisePerturbsPackage(t *testing.T) {
 	p := SandyBridge()
 	p.Disk.DeterministicRotation = true
 	n := New(p, 7)
-	inst := n.NewInstruments("noise")
+	inst := n.NewInstruments("noise", nil)
 	inst.Start()
 	n.Idle(60)
 	inst.Stop()
@@ -163,7 +163,7 @@ func TestStopNoiseRestoresBaseline(t *testing.T) {
 
 func TestInstrumentsRecordBothMeters(t *testing.T) {
 	n := quiet(3)
-	inst := n.NewInstruments("run")
+	inst := n.NewInstruments("run", nil)
 	inst.Start()
 	n.Idle(10)
 	inst.Stop()

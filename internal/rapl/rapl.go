@@ -12,7 +12,7 @@ import (
 
 	"repro/internal/power"
 	"repro/internal/sim"
-	"repro/internal/trace"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -121,22 +121,29 @@ func DefaultMonitorConfig() MonitorConfig {
 	return MonitorConfig{Period: 1, Overhead: 0.2}
 }
 
-// Monitor periodically reads the MSRs and records per-domain average
-// power into trace series.
+// Monitor periodically reads the MSRs and emits per-domain average
+// power as telemetry energy-sample events.
 type Monitor struct {
 	msr     *MSR
 	ticker  *sim.Ticker
 	pkgDom  *power.Domain
 	cfg     MonitorConfig
+	tel     *telemetry.Bus
+	doms    []Domain
+	names   []string
 	prev    map[Domain]uint32
-	series  map[Domain]*trace.Series
 	running bool
 }
 
-// NewMonitor attaches a monitor to the MSRs. Series are created inside
-// profile ("rapl.PKG", "rapl.DRAM", ...). pkgDomain receives the
-// monitoring overhead and may be nil.
-func NewMonitor(engine *sim.Engine, msr *MSR, profile *trace.Profile, pkgDomain *power.Domain, cfg MonitorConfig) *Monitor {
+// SourceName returns the telemetry source a domain samples under
+// ("rapl.PKG", "rapl.DRAM", ...).
+func SourceName(d Domain) string { return "rapl." + d.String() }
+
+// NewMonitor attaches a monitor to the MSRs, emitting readings into tel
+// with one source per domain (defined on construction, in domain order,
+// so recorders materialize series columns in a stable order). pkgDomain
+// receives the monitoring overhead and may be nil.
+func NewMonitor(engine *sim.Engine, msr *MSR, tel *telemetry.Bus, pkgDomain *power.Domain, cfg MonitorConfig) *Monitor {
 	if cfg.Period <= 0 {
 		panic("rapl: monitor period must be positive")
 	}
@@ -144,15 +151,21 @@ func NewMonitor(engine *sim.Engine, msr *MSR, profile *trace.Profile, pkgDomain 
 	if doms == nil {
 		doms = []Domain{PKG, DRAM}
 	}
+	if tel == nil {
+		tel = telemetry.NewBus()
+	}
 	m := &Monitor{
 		msr:    msr,
 		pkgDom: pkgDomain,
 		cfg:    cfg,
+		tel:    tel,
+		doms:   doms,
+		names:  make([]string, len(doms)),
 		prev:   make(map[Domain]uint32),
-		series: make(map[Domain]*trace.Series),
 	}
-	for _, d := range doms {
-		m.series[d] = profile.AddSeries("rapl."+d.String(), "W")
+	for i, d := range doms {
+		m.names[i] = SourceName(d)
+		tel.Emit(telemetry.Event{Kind: telemetry.KindSeriesDefine, Source: m.names[i], Unit: "W"})
 	}
 	m.ticker = sim.NewTicker(engine, cfg.Period, m.sample)
 	return m
@@ -164,7 +177,7 @@ func (m *Monitor) Start() {
 		return
 	}
 	m.running = true
-	for d := range m.series {
+	for _, d := range m.doms {
 		if v, err := m.msr.ReadEnergyStatus(d); err == nil {
 			m.prev[d] = v
 		}
@@ -187,17 +200,19 @@ func (m *Monitor) Stop() {
 	}
 }
 
-// Series returns the recorded series for a domain, or nil.
-func (m *Monitor) Series(d Domain) *trace.Series { return m.series[d] }
-
 func (m *Monitor) sample(now sim.Time) {
-	for d, s := range m.series {
+	for i, d := range m.doms {
 		cur, err := m.msr.ReadEnergyStatus(d)
 		if err != nil {
 			continue
 		}
 		e := CounterDelta(m.prev[d], cur)
 		m.prev[d] = cur
-		s.Append(now, float64(e)/float64(m.cfg.Period))
+		m.tel.Emit(telemetry.Event{
+			Kind:   telemetry.KindEnergySample,
+			Source: m.names[i],
+			At:     now,
+			Value:  float64(e) / float64(m.cfg.Period),
+		})
 	}
 }

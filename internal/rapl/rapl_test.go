@@ -6,9 +6,17 @@ import (
 
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
+
+// monitorProfile pairs a telemetry bus with a recorder-backed profile,
+// the production arrangement for reading a monitor's series.
+func monitorProfile() (*telemetry.Bus, *trace.Profile) {
+	prof := trace.NewProfile("t")
+	return telemetry.NewBus(trace.NewRecorder(prof)), prof
+}
 
 func TestCounterDeltaSimple(t *testing.T) {
 	if got := CounterDelta(1000, 66536); math.Abs(float64(got)-65536*EnergyUnit) > 1e-9 {
@@ -63,17 +71,17 @@ func TestMonitorRecordsAveragePower(t *testing.T) {
 	pkg := bus.NewDomain("package", 42)
 	bus.NewDomain("dram", 10)
 	msr := NewMSR(Sources(bus, 42, e))
-	prof := trace.NewProfile("t")
+	tel, prof := monitorProfile()
 	cfg := DefaultMonitorConfig()
 	cfg.Overhead = 0 // keep power exact for the assertion
-	mon := NewMonitor(e, msr, prof, pkg, cfg)
+	mon := NewMonitor(e, msr, tel, pkg, cfg)
 	mon.Start()
 	e.Advance(5)
 	pkg.SetLevel(72)
 	e.Advance(5)
 	mon.Stop()
 
-	s := mon.Series(PKG)
+	s := prof.SeriesByName(SourceName(PKG))
 	if s.Len() != 10 {
 		t.Fatalf("PKG samples = %d, want 10", s.Len())
 	}
@@ -82,7 +90,7 @@ func TestMonitorRecordsAveragePower(t *testing.T) {
 	if math.Abs(early-42) > 0.01 || math.Abs(late-72) > 0.01 {
 		t.Errorf("PKG power early/late = %v/%v, want 42/72", early, late)
 	}
-	d := mon.Series(DRAM)
+	d := prof.SeriesByName(SourceName(DRAM))
 	if math.Abs(d.At(3).V-10) > 0.01 {
 		t.Errorf("DRAM power = %v, want 10", d.At(3).V)
 	}
@@ -94,8 +102,7 @@ func TestMonitorOverheadAppliedAndRemoved(t *testing.T) {
 	pkg := bus.NewDomain("package", 42)
 	bus.NewDomain("dram", 10)
 	msr := NewMSR(Sources(bus, 42, e))
-	prof := trace.NewProfile("t")
-	mon := NewMonitor(e, msr, prof, pkg, DefaultMonitorConfig())
+	mon := NewMonitor(e, msr, nil, pkg, DefaultMonitorConfig())
 	mon.Start()
 	if math.Abs(float64(pkg.Level())-42.2) > 1e-9 {
 		t.Errorf("package with monitor = %v, want 42.2", pkg.Level())
@@ -130,13 +137,13 @@ func TestMonitorLongRunSurvivesCounterWrap(t *testing.T) {
 	pkg := bus.NewDomain("package", 150)
 	bus.NewDomain("dram", 10)
 	msr := NewMSR(Sources(bus, 42, e))
-	prof := trace.NewProfile("t")
+	tel, prof := monitorProfile()
 	cfg := MonitorConfig{Period: 1, Overhead: 0}
-	mon := NewMonitor(e, msr, prof, pkg, cfg)
+	mon := NewMonitor(e, msr, tel, pkg, cfg)
 	mon.Start()
 	e.Advance(1200)
 	mon.Stop()
-	for _, s := range mon.Series(PKG).Samples() {
+	for _, s := range prof.SeriesByName(SourceName(PKG)).Samples() {
 		if math.Abs(s.V-150) > 0.01 {
 			t.Fatalf("sample at %v = %v, want 150 (wraparound mishandled)", s.T, s.V)
 		}

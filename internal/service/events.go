@@ -4,18 +4,18 @@ import (
 	"context"
 	"sync"
 
-	"repro/internal/core/stagegraph"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
 // events.go is the live progress side of the service: every execution
 // owns an append-only event log that SSE subscribers replay and then
 // follow. Events come from two sources — the manager's lifecycle
-// transitions (queued, running, done/failed/canceled) and the
-// stage-graph engine's observer hook, which the execution's observer
-// coalesces to one "stage" event per distinct engine stage, in first
-// execution order. Because runs are deterministic, so is the event
-// sequence a job emits.
+// transitions (queued, running, done/failed/canceled) and the run's
+// telemetry stream, which the execution's consumer coalesces to one
+// "stage" event per distinct engine stage, in first execution order.
+// Because runs are deterministic, so is the event sequence a job
+// emits.
 
 // Event is one SSE payload.
 type Event struct {
@@ -105,19 +105,20 @@ func (l *eventLog) len() int {
 	return len(l.events)
 }
 
-// jobCanceled is the sentinel the execution observer panics with to
-// abort a run mid-flight; the manager's worker recovers it and
-// finalizes the job as canceled. It deliberately never escapes the
-// package: safeRun translates it to context.Canceled.
+// jobCanceled is the sentinel the execution's telemetry consumer
+// panics with to abort a run mid-flight; the manager's worker recovers
+// it and finalizes the job as canceled. It deliberately never escapes
+// the package: safeRun translates it to context.Canceled.
 type jobCanceled struct{}
 
-// jobObserver adapts the stage-graph engine's observer hook to an
-// execution: it streams coalesced progress into the event log,
-// accumulates per-stage virtual seconds into the service metrics, and
-// aborts the run (by panicking with jobCanceled) once the execution's
-// context is canceled — the only way to stop a pipeline mid-run
+// jobTelemetry is the execution's telemetry consumer: it streams
+// coalesced progress into the event log, accumulates per-stage virtual
+// seconds and metered joules (and fault-injection counts) into the
+// service metrics, and aborts the run (by panicking with jobCanceled)
+// once the execution's context is canceled — every telemetry event is
+// a cancellation point, the only way to stop a pipeline mid-run
 // without threading a context through the deterministic core.
-type jobObserver struct {
+type jobTelemetry struct {
 	ctx context.Context
 	log *eventLog
 	met *Metrics
@@ -126,31 +127,31 @@ type jobObserver struct {
 	seen map[string]bool
 }
 
-func newJobObserver(ctx context.Context, log *eventLog, met *Metrics) *jobObserver {
-	return &jobObserver{ctx: ctx, log: log, met: met, seen: map[string]bool{}}
+func newJobTelemetry(ctx context.Context, log *eventLog, met *Metrics) *jobTelemetry {
+	return &jobTelemetry{ctx: ctx, log: log, met: met, seen: map[string]bool{}}
 }
 
-func (o *jobObserver) RunStart(spec stagegraph.Spec) {
-	o.checkCanceled()
-	o.log.emit(Event{Type: "run", Run: spec.Name})
-}
-
-func (o *jobObserver) StageDone(st stagegraph.Stage, start, end units.Seconds) {
-	o.checkCanceled()
-	o.met.addStageTime(st.Phase, end-start)
-	o.mu.Lock()
-	first := !o.seen[st.Phase]
-	o.seen[st.Phase] = true
-	o.mu.Unlock()
-	if first {
-		o.log.emit(Event{Type: "stage", Stage: st.Phase, At: end})
-	}
-}
-
-func (o *jobObserver) RunEnd(stagegraph.Spec) { o.checkCanceled() }
-
-func (o *jobObserver) checkCanceled() {
+// Consume implements telemetry.Consumer.
+func (o *jobTelemetry) Consume(ev telemetry.Event) {
 	if o.ctx.Err() != nil {
 		panic(jobCanceled{})
+	}
+	switch ev.Kind {
+	case telemetry.KindRunStart:
+		o.log.emit(Event{Type: "run", Run: ev.Run})
+	case telemetry.KindStageDone:
+		o.met.addStageTime(ev.Stage, ev.End-ev.Start)
+		if ev.HasEnergy {
+			o.met.addStageEnergy(ev.Stage, ev.EndEnergy-ev.StartEnergy)
+		}
+		o.mu.Lock()
+		first := !o.seen[ev.Stage]
+		o.seen[ev.Stage] = true
+		o.mu.Unlock()
+		if first {
+			o.log.emit(Event{Type: "stage", Stage: ev.Stage, At: ev.End})
+		}
+	case telemetry.KindFaultInjected:
+		o.met.FaultsInjected.Add(1)
 	}
 }

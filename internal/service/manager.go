@@ -173,7 +173,7 @@ func (o Options) withDefaults() Options {
 // runFunc executes one normalized spec and returns its report bytes.
 // It is a field (not a call) so tests can substitute a controllable
 // runner; the default is runSpec.
-type runFunc func(ctx context.Context, spec JobSpec, obs *jobObserver) ([]byte, error)
+type runFunc func(ctx context.Context, spec JobSpec, tel *jobTelemetry) ([]byte, error)
 
 // Manager owns the service state: the job table, the content-
 // addressed execution cache, the bounded submit queue, and the worker
@@ -567,8 +567,8 @@ func (m *Manager) safeRun(e *execution) (report []byte, err error) {
 			err = fmt.Errorf("job panicked: %v", r)
 		}
 	}()
-	obs := newJobObserver(e.ctx, e.log, &m.Metrics)
-	return m.run(e.ctx, e.spec, obs)
+	tel := newJobTelemetry(e.ctx, e.log, &m.Metrics)
+	return m.run(e.ctx, e.spec, tel)
 }
 
 // finish moves an execution to its terminal state, emits the terminal

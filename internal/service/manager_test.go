@@ -21,7 +21,7 @@ type stubRunner struct {
 	err    error
 }
 
-func (s *stubRunner) run(ctx context.Context, spec JobSpec, obs *jobObserver) ([]byte, error) {
+func (s *stubRunner) run(ctx context.Context, spec JobSpec, tel *jobTelemetry) ([]byte, error) {
 	s.mu.Lock()
 	s.calls++
 	s.mu.Unlock()
@@ -311,7 +311,7 @@ func TestFailureEvicted(t *testing.T) {
 // taking the worker down.
 func TestRunnerPanicIsFailure(t *testing.T) {
 	m := newStubManager(t, Options{Workers: 1}, &stubRunner{})
-	m.run = func(context.Context, JobSpec, *jobObserver) ([]byte, error) {
+	m.run = func(context.Context, JobSpec, *jobTelemetry) ([]byte, error) {
 		panic("kaboom")
 	}
 	job, err := m.Submit(JobSpec{Experiment: "fig4"})

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -31,11 +32,16 @@ type Metrics struct {
 	// Retired counts terminal jobs pruned by retention GC.
 	Retired atomic.Uint64
 
+	// FaultsInjected counts storage faults fired across all executions
+	// (from FaultInjected telemetry; zero unless jobs enable injection).
+	FaultsInjected atomic.Uint64
+
 	// Live state.
 	Running atomic.Int64
 
 	mu           sync.Mutex
 	stageSeconds map[string]float64
+	stageJoules  map[string]float64
 }
 
 // addStageTime accumulates one stage execution's virtual duration.
@@ -48,14 +54,30 @@ func (m *Metrics) addStageTime(phase string, d units.Seconds) {
 	m.mu.Unlock()
 }
 
+// addStageEnergy accumulates one stage execution's metered energy.
+func (m *Metrics) addStageEnergy(phase string, e units.Joules) {
+	m.mu.Lock()
+	if m.stageJoules == nil {
+		m.stageJoules = map[string]float64{}
+	}
+	m.stageJoules[phase] += float64(e)
+	m.mu.Unlock()
+}
+
 // WriteTo writes the exposition text. Lines are sorted so scrapes are
 // stable; queueDepth, cacheEntries, and jobs are gauges the manager
 // samples, and store carries the durable result store's counters
 // (all-zero when no store is configured).
 func (m *Metrics) WriteTo(w io.Writer, queueDepth, cacheEntries, jobs int, store resultstore.Stats) {
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	fmt.Fprintf(w, "greenvizd_cache_entries %d\n", cacheEntries)
 	fmt.Fprintf(w, "greenvizd_cache_hits_total %d\n", m.CacheHits.Load())
 	fmt.Fprintf(w, "greenvizd_executions_total %d\n", m.Executions.Load())
+	fmt.Fprintf(w, "greenvizd_faults_injected_total %d\n", m.FaultsInjected.Load())
+	fmt.Fprintf(w, "greenvizd_go_gc_cycles_total %d\n", mem.NumGC)
+	fmt.Fprintf(w, "greenvizd_go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "greenvizd_go_heap_alloc_bytes %d\n", mem.HeapAlloc)
 	fmt.Fprintf(w, "greenvizd_jobs_canceled_total %d\n", m.Canceled.Load())
 	fmt.Fprintf(w, "greenvizd_jobs_completed_total %d\n", m.Completed.Load())
 	fmt.Fprintf(w, "greenvizd_jobs_deduped_total %d\n", m.Deduped.Load())
@@ -74,7 +96,15 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, cacheEntries, jobs int, store
 	fmt.Fprintf(w, "greenvizd_store_misses_total %d\n", store.Misses)
 
 	m.mu.Lock()
-	phases := make([]string, 0, len(m.stageSeconds))
+	phases := make([]string, 0, len(m.stageJoules))
+	for p := range m.stageJoules {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	for _, p := range phases {
+		fmt.Fprintf(w, "greenvizd_stage_joules_total{stage=%q} %.3f\n", p, m.stageJoules[p])
+	}
+	phases = phases[:0]
 	for p := range m.stageSeconds {
 		phases = append(phases, p)
 	}

@@ -24,15 +24,15 @@ import (
 //   - pipeline jobs run the same preset resolution as the CLI and
 //     report the CLI's -format json encoding.
 //
-// Cancellation arrives through obs: the observer panics with the
-// jobCanceled sentinel at the next stage boundary once ctx is done,
-// and safeRun translates that to context.Canceled.
-func runSpec(ctx context.Context, spec JobSpec, obs *jobObserver) ([]byte, error) {
+// Cancellation arrives through tel: the telemetry consumer panics
+// with the jobCanceled sentinel at the next telemetry event once ctx
+// is done, and safeRun translates that to context.Canceled.
+func runSpec(ctx context.Context, spec JobSpec, tel *jobTelemetry) ([]byte, error) {
 	cfg, err := spec.Config()
 	if err != nil {
 		return nil, err
 	}
-	cfg.Observer = obs
+	cfg.Telemetry = tel
 
 	switch spec.Kind {
 	case KindExperiment:

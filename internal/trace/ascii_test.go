@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestASCIIPlotEmptySeriesKeepsTitle(t *testing.T) {
+	p := NewProfile("t")
+	s := p.AddSeries("system", "W")
+	got := ASCIIPlot("power", 40, 8, s)
+	if !strings.HasPrefix(got, "power\n") {
+		t.Errorf("plot missing title:\n%s", got)
+	}
+	if !strings.Contains(got, "(no samples)") {
+		t.Errorf("empty plot = %q, want a labeled no-samples note", got)
+	}
+}
+
+func TestASCIIPlotAllNonFinite(t *testing.T) {
+	p := NewProfile("t")
+	s := p.AddSeries("system", "W")
+	s.Append(0, math.NaN())
+	s.Append(1, math.Inf(1))
+	s.Append(2, math.Inf(-1))
+	got := ASCIIPlot("power", 40, 8, s)
+	if !strings.Contains(got, "(no samples; 3 non-finite omitted)") {
+		t.Errorf("all-non-finite plot = %q, want a labeled omission count", got)
+	}
+}
+
+func TestASCIIPlotSingleSample(t *testing.T) {
+	p := NewProfile("t")
+	s := p.AddSeries("system", "W")
+	s.Append(5, 104.5)
+	got := ASCIIPlot("power", 40, 8, s)
+	// Degenerate extents must not divide by zero; the one sample must
+	// land on the canvas and the legend must name the series.
+	if !strings.Contains(got, "*") {
+		t.Errorf("single-sample plot has no glyph:\n%s", got)
+	}
+	if !strings.Contains(got, "*=system") {
+		t.Errorf("plot legend missing series name:\n%s", got)
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "NaN") || strings.Contains(line, "Inf") {
+			t.Errorf("plot axis contains non-finite label: %q", line)
+		}
+	}
+}
+
+func TestASCIIPlotMixedFiniteAndNot(t *testing.T) {
+	p := NewProfile("t")
+	s := p.AddSeries("system", "W")
+	s.Append(0, 100)
+	s.Append(1, math.NaN())
+	s.Append(2, 110)
+	got := ASCIIPlot("power", 40, 8, s)
+	if !strings.Contains(got, "(1 non-finite samples omitted)") {
+		t.Errorf("plot legend missing omission note:\n%s", got)
+	}
+	// Axes come from the finite samples alone: the top label must stay
+	// near 110 (+5%% headroom), not blow up to Inf.
+	if !strings.Contains(got, "110.5") {
+		t.Errorf("plot axes not derived from finite extents:\n%s", got)
+	}
+}
+
+func TestASCIIPlotMultiSeriesGlyphs(t *testing.T) {
+	p := NewProfile("t")
+	a := p.AddSeries("rapl.PKG", "W")
+	b := p.AddSeries("rapl.DRAM", "W")
+	a.Append(0, 40)
+	a.Append(10, 45)
+	b.Append(0, 10)
+	b.Append(10, 12)
+	got := ASCIIPlot("rapl", 40, 8, a, b)
+	if !strings.Contains(got, "*=rapl.PKG") || !strings.Contains(got, "+=rapl.DRAM") {
+		t.Errorf("legend glyphs wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "+") {
+		t.Errorf("second series not drawn:\n%s", got)
+	}
+}
+
+func TestASCIIPlotClampsTinyDimensions(t *testing.T) {
+	p := NewProfile("t")
+	s := p.AddSeries("system", "W")
+	s.Append(0, 1)
+	s.Append(1, 2)
+	got := ASCIIPlot("tiny", 1, 1, s)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	// Title + >=4 canvas rows + axis + labels + legend.
+	if len(lines) < 7 {
+		t.Errorf("clamped plot has %d lines, want >= 7:\n%s", len(lines), got)
+	}
+}

@@ -2,16 +2,20 @@
 // paper's measurement setup: a 1 Hz sampler of full-system power with
 // coarse quantization and a little measurement noise, logged by a
 // separate monitoring host (so it adds no load to the system under
-// test).
+// test). Readings are emitted as telemetry energy-sample events; a
+// trace.Recorder (or any other consumer) turns them into a series.
 package wattsup
 
 import (
 	"repro/internal/power"
 	"repro/internal/sim"
-	"repro/internal/trace"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/xrand"
 )
+
+// SeriesName is the telemetry source the meter samples under.
+const SeriesName = "system"
 
 // Config describes the meter.
 type Config struct {
@@ -30,29 +34,35 @@ func DefaultConfig() Config {
 	return Config{Period: 1, Quantum: 0.1, NoiseSigma: 0.5}
 }
 
-// Meter samples a power bus into a trace series. Each reading is the
+// Meter samples a power bus into telemetry events. Each reading is the
 // true average wall power over the elapsed period (the meter integrates
 // internally), plus noise, quantized.
 type Meter struct {
 	bus     *power.Bus
 	cfg     Config
 	rng     *xrand.Rand
-	series  *trace.Series
+	tel     *telemetry.Bus
 	ticker  *sim.Ticker
 	prevE   units.Joules
 	running bool
 }
 
-// NewMeter attaches a meter to bus, recording into profile under the
-// series name "system". rng may be nil when NoiseSigma is 0.
-func NewMeter(engine *sim.Engine, bus *power.Bus, profile *trace.Profile, cfg Config, rng *xrand.Rand) *Meter {
+// NewMeter attaches a meter to bus, emitting readings into tel under
+// the source SeriesName (the series is defined on construction, so
+// recorders attached before this call materialize it even if no sample
+// ever fires). rng may be nil when NoiseSigma is 0.
+func NewMeter(engine *sim.Engine, bus *power.Bus, tel *telemetry.Bus, cfg Config, rng *xrand.Rand) *Meter {
 	if cfg.Period <= 0 {
 		panic("wattsup: period must be positive")
 	}
 	if cfg.NoiseSigma > 0 && rng == nil {
 		panic("wattsup: noise needs an rng")
 	}
-	m := &Meter{bus: bus, cfg: cfg, rng: rng, series: profile.AddSeries("system", "W")}
+	if tel == nil {
+		tel = telemetry.NewBus()
+	}
+	m := &Meter{bus: bus, cfg: cfg, rng: rng, tel: tel}
+	tel.Emit(telemetry.Event{Kind: telemetry.KindSeriesDefine, Source: SeriesName, Unit: "W"})
 	m.ticker = sim.NewTicker(engine, cfg.Period, m.sample)
 	return m
 }
@@ -76,9 +86,6 @@ func (m *Meter) Stop() {
 	m.ticker.Stop()
 }
 
-// Series returns the recorded readings.
-func (m *Meter) Series() *trace.Series { return m.series }
-
 func (m *Meter) sample(now sim.Time) {
 	cur := m.bus.SystemEnergy()
 	w := float64(cur-m.prevE) / float64(m.cfg.Period)
@@ -92,5 +99,10 @@ func (m *Meter) sample(now sim.Time) {
 	if w < 0 {
 		w = 0
 	}
-	m.series.Append(now, w)
+	m.tel.Emit(telemetry.Event{
+		Kind:   telemetry.KindEnergySample,
+		Source: SeriesName,
+		At:     now,
+		Value:  w,
+	})
 }

@@ -6,7 +6,8 @@
 # Three passes feed one JSON file:
 #
 #   1. The comparison pass: the hot-path micro-benchmarks (render,
-#      checkpoint encode, fault hooks, nil-observer stage dispatch),
+#      checkpoint encode, fault hooks, no-consumer stage dispatch, the
+#      telemetry bus's no-consumer and fan-out emit paths),
 #      the greenvizd service-layer benchmarks, and the result-store
 #      pass (warm-hit read+CRC-verify latency vs. the cold durable
 #      write path, plus steady-state LRU eviction throughput), at the
@@ -34,15 +35,15 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 raw="$(mktemp)"
 rawk="$(mktemp)"
 trap 'rm -f "$raw" "$rawk"' EXIT
 
 go test -run '^$' \
-    -bench '^(BenchmarkRender|BenchmarkCheckpointEncode|BenchmarkHooksDisabled|BenchmarkHooksEnabled|BenchmarkDoNilObserver|BenchmarkServiceThroughput|BenchmarkSubmitDedup|BenchmarkSpecDigest|BenchmarkStoreGetHit|BenchmarkStorePutCold|BenchmarkStoreEvict)$' \
+    -bench '^(BenchmarkRender|BenchmarkCheckpointEncode|BenchmarkHooksDisabled|BenchmarkHooksEnabled|BenchmarkDoNoConsumer|BenchmarkTelemetryNoConsumer|BenchmarkTelemetryFanout|BenchmarkServiceThroughput|BenchmarkSubmitDedup|BenchmarkSpecDigest|BenchmarkStoreGetHit|BenchmarkStorePutCold|BenchmarkStoreEvict)$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" -count "${COUNT:-3}" \
-    . ./internal/fault ./internal/core/stagegraph ./internal/service ./internal/resultstore | tee "$raw"
+    . ./internal/fault ./internal/core/stagegraph ./internal/telemetry ./internal/service ./internal/resultstore | tee "$raw"
 
 go test -run '^$' \
     -bench '^(BenchmarkSuiteAllSerial|BenchmarkSuiteAllParallel)$' \
