@@ -20,27 +20,31 @@ static:
 # detector (including the greenvizd API tests), the daemon smoke test
 # (builds the real binary, submits fig4 over HTTP, and diffs the served
 # report against the committed golden digest), the golden-output
-# regression suite (runs without race — the full experiment suite is
-# infeasible under the detector, so it is skipped there and must run
-# here explicitly), and a short fuzz pass over the checkpoint decoder
-# (seeds plus 10s of mutation).
+# regression suites (run without race — the full experiment suite and
+# the campaign report golden are infeasible under the detector, so
+# they are skipped there and must run here explicitly), and a short
+# fuzz pass over the checkpoint decoder (seeds plus 10s of mutation).
 check: static
 	$(GO) build ./...
 	$(GO) build ./examples/...
 	$(GO) test -race -timeout 45m ./...
 	$(GO) test -run '^TestDaemonSmoke$$' -timeout 10m ./cmd/greenvizd
 	$(GO) test -run '^TestGolden' -timeout 30m ./internal/experiments
+	$(GO) test -run '^TestGoldenCampaignReport$$' -timeout 10m ./internal/campaign
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodePrefix$$' -fuzztime 10s ./internal/checkpoint
 
-# golden re-verifies the committed per-experiment output digests;
-# golden-update regenerates them after an intentional output change.
+# golden re-verifies the committed output digests (per-experiment and
+# the example campaign report); golden-update regenerates them after
+# an intentional output change.
 .PHONY: golden golden-update
 golden:
 	$(GO) test -run '^TestGolden' -timeout 30m ./internal/experiments
+	$(GO) test -run '^TestGoldenCampaignReport$$' -timeout 10m ./internal/campaign
 golden-update:
 	$(GO) test -run '^TestGolden' -timeout 30m -update ./internal/experiments
+	$(GO) test -run '^TestGoldenCampaignReport$$' -timeout 10m -update ./internal/campaign
 
-# bench records the benchmark set into BENCH_pr8.json.
+# bench records the benchmark set into BENCH_pr9.json.
 bench:
 	scripts/bench.sh
 
@@ -56,4 +60,4 @@ bench-check:
 clean:
 	rm -f greenviz greenvizd BENCH_check.json \
 		BENCH_pr1.json BENCH_pr2.json BENCH_pr4.json BENCH_pr6.json \
-		BENCH_pr7.json BENCH_pr8.json
+		BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json

@@ -8,6 +8,7 @@
 //	greenviz -experiment all -seed 7
 //	greenviz -experiment all -workers 8
 //	greenviz -experiment fig5 -csv /tmp/profiles
+//	greenviz -campaign examples/campaigns/greenest-config.json
 //
 // Each experiment prints the rows or ASCII-rendered series the paper
 // reports, plus the paper's published values for comparison. With
@@ -48,6 +49,8 @@ func main() {
 		csvDir       = flag.String("csv", "", "directory to dump case-study power profiles as CSV")
 		faults       = flag.String("faults", "", "inject storage faults: comma-separated bitrot=,readerr=,writeerr=,latency=,drop= (probabilities), spike=,timeout= (seconds), seed= — empty disables injection (byte-identical output)")
 
+		campaignPath = flag.String("campaign", "", "run a campaign spec file (JSON): sweep pipeline/device/power-cap axes and print the greenness report")
+
 		pipeline  = flag.String("pipeline", "", "run one pipeline instead of an experiment: "+strings.Join(pipelineFlags(), ", "))
 		app       = flag.String("app", "heat", "proxy application: "+strings.Join(greenviz.AppFlags(), ", "))
 		device    = flag.String("device", "hdd", "storage device: "+strings.Join(greenviz.DeviceFlags(), ", "))
@@ -73,6 +76,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *campaignPath != "" {
+		if err := runCampaign(*campaignPath, *workers, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *pipeline != "" {

@@ -14,6 +14,15 @@
 //	curl -s -XPOST localhost:8866/v1/jobs -d '{"experiment":"fig4"}'
 //	curl -N localhost:8866/v1/jobs/job-000001/events
 //	curl -s localhost:8866/v1/jobs/job-000001/report
+//	curl -s -XPOST localhost:8866/v1/campaigns -d @examples/campaigns/greenest-config.json
+//	curl -s localhost:8866/v1/campaigns/<id>/report
+//
+// Campaigns (POST /v1/campaigns) sweep a cross-product of pipeline,
+// device, power-cap, and config axes as one unit: points run as
+// ordinary content-addressed jobs (identical points cost one run, warm
+// restarts serve from the store), and the campaign report folds the
+// results into marginal tables, an energy-vs-time Pareto frontier, and
+// a greenest-configuration recommendation.
 //
 // On SIGINT/SIGTERM the daemon drains: new submits are rejected with
 // 503 while queued and running jobs finish (bounded by -drain-timeout,
@@ -30,9 +39,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/resultstore"
 	"repro/internal/service"
 )
@@ -50,10 +61,20 @@ type daemonConfig struct {
 	storeMaxBytes  int64
 	storeMaxEntr   int
 	jobRetention   time.Duration
+	sseHeartbeat   time.Duration
+	pointWorkers   int
 	maxBodyBytes   int64
 	readHeaderWait time.Duration
 	readWait       time.Duration
 	idleWait       time.Duration
+}
+
+// init stamps the build-info metric from the binary's own module
+// metadata, so /metrics reports which build is serving.
+func init() {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		service.BuildVersion = bi.Main.Version
+	}
 }
 
 func main() {
@@ -67,6 +88,8 @@ func main() {
 	flag.Int64Var(&cfg.storeMaxBytes, "store-max-bytes", 256<<20, "result-store byte budget; 0 is unbounded")
 	flag.IntVar(&cfg.storeMaxEntr, "store-max-entries", 4096, "result-store entry budget; 0 is unbounded")
 	flag.DurationVar(&cfg.jobRetention, "job-retention", time.Hour, "prune terminal jobs from the job table after this; 0 keeps them forever")
+	flag.DurationVar(&cfg.sseHeartbeat, "sse-heartbeat", 15*time.Second, "emit `: heartbeat` comments on idle SSE streams at this interval; 0 disables")
+	flag.IntVar(&cfg.pointWorkers, "campaign-point-workers", 4, "outstanding point submissions per campaign")
 	flag.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 1<<20, "POST body cap; larger submissions are rejected with 413")
 	flag.DurationVar(&cfg.readHeaderWait, "read-header-timeout", 10*time.Second, "close connections whose request headers stall longer than this")
 	flag.DurationVar(&cfg.readWait, "read-timeout", time.Minute, "close connections whose full request (headers+body) stalls longer than this")
@@ -126,8 +149,12 @@ func run(cfg daemonConfig) error {
 		MaxBodyBytes: cfg.maxBodyBytes,
 		Store:        store,
 		JobRetention: cfg.jobRetention,
+		SSEHeartbeat: cfg.sseHeartbeat,
 	})
-	srv := newHTTPServer(cfg, service.Handler(m))
+	cm := campaign.NewManager(m, campaign.Options{PointWorkers: cfg.pointWorkers})
+	mux := service.Handler(m)
+	cm.Register(mux)
+	srv := newHTTPServer(cfg, mux)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "greenvizd: listening on %s (workers=%d queue=%d)\n", ln.Addr(), cfg.workers, cfg.queueDepth)
@@ -148,6 +175,10 @@ func run(cfg daemonConfig) error {
 	// report is durable before exit.
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	// Campaigns first: Close cancels their point waits and persists
+	// final state records while the store is still open, then the job
+	// manager drains and closes the store.
+	cm.Close()
 	if err := m.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "greenvizd: drain timeout, canceled remaining jobs: %v\n", err)
 	}

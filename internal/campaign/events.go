@@ -1,0 +1,77 @@
+package campaign
+
+import "sync"
+
+// Event is one campaign SSE payload: the sweep's lifecycle ("expanded"
+// with the point count, terminal "done"/"failed"/"canceled") plus one
+// "point" event per point as it reaches a terminal state.
+type Event struct {
+	// Seq numbers events from 1 within one campaign.
+	Seq int `json:"seq"`
+	// Type is "expanded", "point", "done", "failed", or "canceled".
+	Type string `json:"type"`
+	// Points is the expansion size on "expanded" events.
+	Points int `json:"points,omitempty"`
+	// Point and Label identify the point on "point" events (Label is
+	// the identity; a zero index is omitted from the JSON).
+	Point int    `json:"point,omitempty"`
+	Label string `json:"label,omitempty"`
+	// State is the point's terminal state on "point" events.
+	State string `json:"state,omitempty"`
+	// Deduped reports that the point was served by an existing
+	// execution (singleflight, cache, or store) instead of a fresh run.
+	Deduped bool `json:"deduped,omitempty"`
+	// Error carries the failure reason on "point" and "failed" events.
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether this event closes the stream.
+func (e Event) Terminal() bool {
+	switch e.Type {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// eventLog mirrors the service's append-only, closable event sequence
+// for campaign-level progress: replay-then-follow subscribers ride the
+// wake channel, which is closed and replaced on every append.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+	wake   chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// emit appends one event, assigning its sequence number; terminal
+// events close the log and later emits are dropped.
+func (l *eventLog) emit(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	ev.Seq = len(l.events) + 1
+	l.events = append(l.events, ev)
+	if ev.Terminal() {
+		l.closed = true
+	}
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// after returns the events past idx, whether the log is closed, and
+// the wake channel for the next append.
+func (l *eventLog) after(idx int) ([]Event, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if idx > len(l.events) {
+		idx = len(l.events)
+	}
+	return l.events[idx:], l.closed, l.wake
+}

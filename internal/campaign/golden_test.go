@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden campaign report digest")
+
+const goldenDigestPath = "testdata/greenest-config.sha256"
+
+// exampleSpec loads the bundled example campaign the README points
+// users at — the same file the CLI and daemon quickstarts submit.
+func exampleSpec(t *testing.T) Spec {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "campaigns", "greenest-config.json"))
+	if err != nil {
+		t.Fatalf("reading example spec: %v", err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		t.Fatalf("decoding example spec: %v", err)
+	}
+	return spec
+}
+
+// TestGoldenCampaignReport runs the bundled example campaign and
+// verifies the report bytes against the committed SHA-256 — the same
+// mechanical drift gate the experiment registry has. Regenerate after
+// an intentional report change with:
+//
+//	go test ./internal/campaign -run TestGolden -update
+func TestGoldenCampaignReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs eight full pipeline simulations")
+	}
+	if raceEnabled {
+		t.Skip("eight full pipeline runs are infeasible under race instrumentation; make check runs this without race")
+	}
+
+	_, c := runCampaign(t, newJobManager(t, nil), exampleSpec(t), 4)
+	report, ok := c.Report()
+	if !ok || len(report) == 0 {
+		t.Fatal("no report")
+	}
+	sum := fmt.Sprintf("%x", sha256.Sum256(report))
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		line := fmt.Sprintf("%s  greenest-config\n", sum)
+		if err := os.WriteFile(goldenDigestPath, []byte(line), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenDigestPath)
+		return
+	}
+
+	want, err := os.ReadFile(goldenDigestPath)
+	if err != nil {
+		t.Fatalf("no golden digest (run with -update to create): %v", err)
+	}
+	wantSum := strings.Fields(string(want))[0]
+	if sum != wantSum {
+		t.Fatalf("campaign report drifted:\n  got  %s\n  want %s\nreport:\n%s", sum, wantSum, report)
+	}
+}

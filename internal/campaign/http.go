@@ -1,0 +1,200 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// maxSpecBytes caps POST /v1/campaigns bodies. Campaign specs are a
+// few KiB even with every axis populated; 1 MiB leaves generous slack.
+const maxSpecBytes = 1 << 20
+
+// campaignView is the JSON shape of one campaign in API responses.
+type campaignView struct {
+	ID        string        `json:"id"`
+	Name      string        `json:"name"`
+	State     service.State `json:"state"`
+	Objective string        `json:"objective"`
+	Digest    string        `json:"digest"`
+	Points    int           `json:"points"`
+	Done      int           `json:"done"`
+	Failed    int           `json:"failed"`
+	Deduped   int           `json:"deduped"`
+	// PointStates is filled on the detail view only.
+	PointStates []pointView `json:"point_states,omitempty"`
+}
+
+type pointView struct {
+	Index   int           `json:"index"`
+	Label   string        `json:"label"`
+	Digest  string        `json:"digest"`
+	State   service.State `json:"state,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Deduped bool          `json:"deduped,omitempty"`
+}
+
+func viewOf(c *Campaign, detail bool) campaignView {
+	done, failed, deduped := c.counts()
+	v := campaignView{
+		ID:        c.ID,
+		Name:      c.Spec.Name,
+		State:     c.State(),
+		Objective: c.Spec.Objective,
+		Digest:    c.Digest,
+		Points:    len(c.Points),
+		Done:      done,
+		Failed:    failed,
+		Deduped:   deduped,
+	}
+	if detail {
+		c.mu.Lock()
+		for i, p := range c.Points {
+			v.PointStates = append(v.PointStates, pointView{
+				Index:   i,
+				Label:   p.Label,
+				Digest:  p.Digest,
+				State:   c.outcomes[i].State,
+				Error:   c.outcomes[i].Err,
+				Deduped: c.outcomes[i].Deduped,
+			})
+		}
+		c.mu.Unlock()
+	}
+	return v
+}
+
+// Register mounts the campaign API on a mux (the one service.Handler
+// returns):
+//
+//	POST /v1/campaigns              submit a Spec; 202 with the campaign view
+//	                                (200 when the content address is already known)
+//	GET  /v1/campaigns              list campaigns in acceptance order
+//	GET  /v1/campaigns/{id}         one campaign's status with per-point states
+//	GET  /v1/campaigns/{id}/report  the deterministic report (409 until done)
+//	GET  /v1/campaigns/{id}/events  live progress over SSE (replays, then follows)
+//
+// Campaigns share the job manager's SSE heartbeat setting, so proxies
+// see the same liveness contract on both stream families.
+func (m *Manager) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxSpecBytes)
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("campaign spec exceeds %d bytes", tooBig.Limit))
+				return
+			}
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode campaign spec: %w", err))
+			return
+		}
+		if dec.More() {
+			httpError(w, http.StatusBadRequest, errors.New("trailing data after campaign spec"))
+			return
+		}
+		known := false
+		if norm, err := spec.Normalized(); err == nil {
+			if points, err := Expand(norm); err == nil {
+				_, lookupErr := m.Get(IDFromDigest(Digest(norm, points)))
+				known = lookupErr == nil
+			}
+		}
+		c, err := m.Start(spec)
+		if err != nil {
+			var bad *BadSpecError
+			if errors.As(err, &bad) {
+				httpError(w, http.StatusBadRequest, err)
+			} else {
+				httpError(w, http.StatusServiceUnavailable, err)
+			}
+			return
+		}
+		status := http.StatusAccepted
+		if known {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, viewOf(c, false))
+	})
+
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		out := []campaignView{}
+		for _, c := range m.List() {
+			out = append(out, viewOf(c, false))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := m.lookup(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, viewOf(c, true))
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := m.lookup(w, r)
+		if !ok {
+			return
+		}
+		body, done := c.Report()
+		if !done {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("campaign %s is %s, report available once done", c.ID, c.State()))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Campaign-Digest", c.Digest)
+		w.Write(body)
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := m.lookup(w, r)
+		if !ok {
+			return
+		}
+		service.StreamSSE(w, r, m.jobs.SSEHeartbeat(), func(idx int) ([]service.SSEEvent, bool, <-chan struct{}) {
+			events, closed, wake := c.EventsAfter(idx)
+			out := make([]service.SSEEvent, 0, len(events))
+			for _, ev := range events {
+				data, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				out = append(out, service.SSEEvent{Name: ev.Type, Data: data})
+			}
+			return out, closed, wake
+		})
+	})
+}
+
+// lookup resolves {id}, writing the 404 itself on a miss.
+func (m *Manager) lookup(w http.ResponseWriter, r *http.Request) (*Campaign, bool) {
+	c, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return c, true
+}
+
+// writeJSON writes v as an indented JSON response (the service API's
+// encoding, duplicated here because the helpers are unexported there).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package campaign
+
+// raceEnabled lets the golden campaign test (eight full pipeline runs)
+// skip under race instrumentation; make check runs it explicitly
+// without race.
+const raceEnabled = true

@@ -1,0 +1,131 @@
+package netio
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestLinkSaturation drives the link with a deep back-to-back queue and
+// checks that the TX resource serializes perfectly: total busy time is
+// the sum of per-transfer service times, the link frees exactly at that
+// instant, and the NICs never drop to idle between queued transfers.
+func TestLinkSaturation(t *testing.T) {
+	e, a, b, l := pair(t)
+	const transfers = 32
+	size := 11 * units.MiB
+	per := float64(l.TransferTime(size))
+
+	ends := make([]sim.Time, transfers)
+	for i := range ends {
+		ends[i] = l.Send(size, nil)
+	}
+	for i, end := range ends {
+		want := float64(i+1) * per
+		if math.Abs(float64(end)-want) > 1e-9 {
+			t.Fatalf("transfer %d ends at %v, want %v", i, end, want)
+		}
+	}
+
+	// While saturated, the NIC delta must hold on both endpoints at
+	// every inter-transfer boundary — the idle reset at each transfer
+	// end is suppressed while more work is queued.
+	idle := a.SystemPower() + b.SystemPower() - 2*(l.Params().NICActive-l.Params().NICIdle)
+	for i := 0; i < transfers-1; i++ {
+		e.AdvanceTo(ends[i] + sim.Time(per/2))
+		during := a.SystemPower() + b.SystemPower()
+		wantDelta := 2 * (l.Params().NICActive - l.Params().NICIdle)
+		if math.Abs(float64(during-idle-wantDelta)) > 0.01 {
+			t.Fatalf("after transfer %d: power delta = %v, want %v (NIC dropped to idle mid-queue)", i, during-idle, wantDelta)
+		}
+	}
+
+	e.AdvanceTo(ends[transfers-1])
+	st := l.Stats()
+	if st.Messages != transfers {
+		t.Errorf("Messages = %d, want %d", st.Messages, transfers)
+	}
+	if st.BytesSent != units.Bytes(transfers)*size {
+		t.Errorf("BytesSent = %d, want %d", st.BytesSent, units.Bytes(transfers)*size)
+	}
+	if got, want := float64(st.BusyTime), float64(transfers)*per; math.Abs(got-want) > 1e-9 {
+		t.Errorf("BusyTime = %v, want %v", got, want)
+	}
+	if got := l.FreeAt(); float64(got) != float64(ends[transfers-1]) {
+		t.Errorf("FreeAt = %v, want %v", got, ends[transfers-1])
+	}
+	if !l.Idle() {
+		t.Error("link not idle at last completion time")
+	}
+	// Saturated utilization: busy the whole span, to float precision.
+	if util := float64(st.BusyTime) / float64(e.Now()); math.Abs(util-1) > 1e-9 {
+		t.Errorf("utilization = %v, want 1", util)
+	}
+}
+
+// TestZeroByteTransfer sends an empty message: it still costs one link
+// latency, counts as a message, and moves no bytes.
+func TestZeroByteTransfer(t *testing.T) {
+	e, _, _, l := pair(t)
+	fired := false
+	end := l.Send(0, func() { fired = true })
+	if got, want := float64(end), float64(l.Params().Latency); math.Abs(got-want) > 1e-12 {
+		t.Errorf("zero-byte transfer ends at %v, want latency %v", got, want)
+	}
+	e.AdvanceTo(end)
+	if !fired {
+		t.Error("done callback did not fire")
+	}
+	st := l.Stats()
+	if st.Messages != 1 || st.BytesSent != 0 {
+		t.Errorf("stats = %+v, want one message, zero bytes", st)
+	}
+	if !l.Idle() {
+		t.Error("link not idle after zero-byte transfer")
+	}
+}
+
+// runScriptedWorkload builds a fresh node pair and pushes a fixed
+// mixed-size transfer script through the link, returning a summary
+// string of every observable (completion times, stats, endpoint
+// energy). Used to prove concurrent simulations do not share state.
+func runScriptedWorkload(t *testing.T) string {
+	t.Helper()
+	e, a, b, l := pair(t)
+	sizes := []units.Bytes{0, units.KiB, 11 * units.MiB, 512, 110 * units.MiB, 0, units.GiB}
+	var ends []sim.Time
+	for _, n := range sizes {
+		ends = append(ends, l.Send(n, nil))
+	}
+	e.AdvanceTo(ends[len(ends)-1] + 1)
+	st := l.Stats()
+	return fmt.Sprintf("ends=%v stats=%+v energyA=%.6f energyB=%.6f",
+		ends, st, float64(a.Bus.SystemEnergy()), float64(b.Bus.SystemEnergy()))
+}
+
+// TestConcurrentSimulationsDeterministic runs the same scripted
+// workload on many engines in parallel goroutines and requires every
+// run to observe identical results — under -race this also proves the
+// netio/node/sim/power stack keeps no shared mutable globals.
+func TestConcurrentSimulationsDeterministic(t *testing.T) {
+	const runs = 8
+	results := make([]string, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runScriptedWorkload(t)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < runs; i++ {
+		if results[i] != results[0] {
+			t.Errorf("run %d diverged:\n  got  %s\n  want %s", i, results[i], results[0])
+		}
+	}
+}

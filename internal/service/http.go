@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -24,10 +25,23 @@ func viewOf(j *Job) jobView {
 	return jobView{ID: j.ID, State: j.State(), Digest: j.Digest(), Spec: j.Spec, Error: j.Err()}
 }
 
+// jobsPage is the GET /v1/jobs response: one page of job views plus
+// the cursor for the next page ("" when this page is the last).
+type jobsPage struct {
+	Jobs []jobView `json:"jobs"`
+	Next string    `json:"next,omitempty"`
+}
+
+// Jobs-listing pagination bounds.
+const (
+	defaultJobsPageLimit = 100
+	maxJobsPageLimit     = 500
+)
+
 // Handler serves the greenvizd API for a manager:
 //
 //	POST   /v1/jobs             submit a JobSpec; 202 with the job view
-//	GET    /v1/jobs             list jobs in submission order
+//	GET    /v1/jobs             list jobs in submission order (?limit=&after= paginate)
 //	GET    /v1/jobs/{id}        one job's status
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/report the deterministic report bytes (409 until done)
@@ -38,8 +52,9 @@ func viewOf(j *Job) jobView {
 //	GET    /debug/pprof/...     runtime profiles
 //
 // Submit errors map to status codes: invalid spec 400, queue full 429,
-// draining 503.
-func Handler(m *Manager) http.Handler {
+// draining 503. The returned mux is open for composition: the daemon
+// mounts the campaign API (internal/campaign) beside these routes.
+func Handler(m *Manager) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		// A spec is a few hundred bytes; cap the body so an oversized
@@ -82,12 +97,29 @@ func Handler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		jobs := m.Jobs()
+		// A campaign can create hundreds of jobs, so the listing is
+		// paginated: ?limit= caps the page (default 100, max 500) and
+		// ?after= resumes past a job ID. Jobs list in submission order
+		// and IDs are monotonic, so (page, next) is deterministic for a
+		// fixed job table.
+		limit := defaultJobsPageLimit
+		if s := r.URL.Query().Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("limit %q must be a positive integer", s))
+				return
+			}
+			limit = n
+		}
+		if limit > maxJobsPageLimit {
+			limit = maxJobsPageLimit
+		}
+		jobs, next := m.JobsPage(r.URL.Query().Get("after"), limit)
 		views := make([]jobView, 0, len(jobs))
 		for _, j := range jobs {
 			views = append(views, viewOf(j))
 		}
-		writeJSON(w, http.StatusOK, views)
+		writeJSON(w, http.StatusOK, jobsPage{Jobs: views, Next: next})
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -132,7 +164,19 @@ func Handler(m *Manager) http.Handler {
 		if !ok {
 			return
 		}
-		serveSSE(w, r, job.Events())
+		log := job.Events()
+		StreamSSE(w, r, m.opts.SSEHeartbeat, func(idx int) ([]SSEEvent, bool, <-chan struct{}) {
+			events, closed, wake := log.after(idx)
+			out := make([]SSEEvent, 0, len(events))
+			for _, ev := range events {
+				data, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				out = append(out, SSEEvent{Name: ev.Type, Data: data})
+			}
+			return out, closed, wake
+		})
 	})
 
 	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
@@ -182,50 +226,6 @@ func lookup(w http.ResponseWriter, m *Manager, r *http.Request) (*Job, bool) {
 		return nil, false
 	}
 	return job, true
-}
-
-// serveSSE streams a job's event log as Server-Sent Events: it replays
-// everything emitted so far, then follows live until the log closes
-// (terminal event) or the client disconnects. Each event goes out as
-//
-//	event: <type>
-//	data: {"seq":N,"type":...}
-//
-// so curl -N shows progress line by line and EventSource clients can
-// subscribe per type.
-func serveSSE(w http.ResponseWriter, r *http.Request, log *eventLog) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-
-	idx := 0
-	for {
-		events, closed, wake := log.after(idx)
-		for _, ev := range events {
-			data, err := json.Marshal(ev)
-			if err != nil {
-				return
-			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
-		}
-		idx += len(events)
-		if len(events) > 0 {
-			fl.Flush()
-		}
-		if closed {
-			return
-		}
-		select {
-		case <-wake:
-		case <-r.Context().Done():
-			return
-		}
-	}
 }
 
 // writeJSON writes v as an indented JSON response.

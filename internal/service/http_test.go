@@ -323,11 +323,15 @@ func TestAPIRegistriesAndMetrics(t *testing.T) {
 		}
 	}
 
-	// Job listing shows the job in submission order.
-	var jobs []jobView
-	getJSON(t, srv.URL+"/v1/jobs", &jobs)
-	if len(jobs) != 1 || jobs[0].ID != view.ID || jobs[0].State != StateDone {
-		t.Errorf("jobs listing: %+v", jobs)
+	// Job listing shows the job in submission order, wrapped in the
+	// pagination envelope.
+	var page jobsPage
+	getJSON(t, srv.URL+"/v1/jobs", &page)
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != view.ID || page.Jobs[0].State != StateDone {
+		t.Errorf("jobs listing: %+v", page)
+	}
+	if page.Next != "" {
+		t.Errorf("single-page listing has next cursor %q", page.Next)
 	}
 
 	// pprof is mounted.

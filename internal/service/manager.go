@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,9 +80,20 @@ type Job struct {
 	Spec JobSpec // normalized
 	exec *execution
 
+	// deduped records that Submit attached this job to an execution
+	// that already existed (in-flight singleflight, memory cache, or
+	// durable store) instead of starting a fresh run. The campaign
+	// engine reads it to count run-vs-deduped points.
+	deduped bool
+
 	canceled   atomic.Bool
 	canceledAt atomic.Int64 // unix nanos, set before canceled flips
 }
+
+// Deduped reports whether this submission was served by an existing
+// execution (singleflight attach, cache hit, or store hit) rather than
+// starting a run of its own.
+func (j *Job) Deduped() bool { return j.deduped }
 
 // State returns the job's effective state: its execution's, unless
 // this job was individually canceled.
@@ -117,6 +129,31 @@ func (j *Job) Report() ([]byte, bool) {
 
 // Events exposes the job's event log for SSE streaming.
 func (j *Job) Events() *eventLog { return j.exec.log }
+
+// Wait blocks until the job reaches a terminal state or ctx expires,
+// returning the job's state either way. It rides the event log's wake
+// channel, so waiting costs no polling; a job whose execution was
+// already terminal (cache or store hit) returns immediately.
+func (j *Job) Wait(ctx context.Context) State {
+	idx := 0
+	for {
+		if st := j.State(); st.Terminal() {
+			return st
+		}
+		events, closed, wake := j.exec.log.after(idx)
+		idx += len(events)
+		if closed {
+			return j.State()
+		}
+		if len(events) == 0 {
+			select {
+			case <-wake:
+			case <-ctx.Done():
+				return j.State()
+			}
+		}
+	}
+}
 
 // terminalAt returns when the job reached a terminal state, and
 // whether it has: a job canceled individually uses its cancel time,
@@ -155,6 +192,11 @@ type Options struct {
 	// the pre-retention behavior. Queued and running jobs are never
 	// touched regardless of age.
 	JobRetention time.Duration
+	// SSEHeartbeat, when positive, makes idle SSE streams (/events on
+	// jobs and campaigns) emit a `: heartbeat` comment at this interval
+	// so proxies and load balancers don't drop long-lived watches. 0
+	// disables heartbeats.
+	SSEHeartbeat time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -204,6 +246,7 @@ func NewManager(opts Options) *Manager {
 		jobs:  map[string]*Job{},
 		cache: map[string]*execution{},
 	}
+	m.Metrics.startedAt = time.Now()
 	m.queue = make(chan *execution, m.opts.QueueDepth)
 	for i := 0; i < m.opts.Workers; i++ {
 		m.wg.Add(1)
@@ -258,6 +301,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 			done := e.state == StateDone
 			e.mu.Unlock()
 			job := m.newJobLocked(norm, e)
+			job.deduped = true
 			if done {
 				m.Metrics.CacheHits.Add(1)
 			} else {
@@ -294,6 +338,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 			e.log.emit(Event{Type: "done"})
 			m.cache[digest] = e
 			job := m.newJobLocked(norm, e)
+			job.deduped = true
 			m.Metrics.CacheHits.Add(1)
 			m.Metrics.Submitted.Add(1)
 			return job, nil
@@ -355,6 +400,37 @@ func (m *Manager) Jobs() []*Job {
 	return out
 }
 
+// JobsPage returns up to limit jobs in submission order, starting
+// after the job with ID after ("" starts at the beginning), plus the
+// cursor to pass as after for the following page ("" when this page
+// exhausts the table). Job IDs are monotonic and the order slice is
+// sorted, so the cursor is stable even as retention GC prunes old
+// entries. limit <= 0 means no limit.
+func (m *Manager) JobsPage(after string, limit int) ([]*Job, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := 0
+	if after != "" {
+		start = sort.SearchStrings(m.order, after)
+		if start < len(m.order) && m.order[start] == after {
+			start++
+		}
+	}
+	end := len(m.order)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	out := make([]*Job, 0, end-start)
+	for _, id := range m.order[start:end] {
+		out = append(out, m.jobs[id])
+	}
+	next := ""
+	if end < len(m.order) && end > start {
+		next = m.order[end-1]
+	}
+	return out, next
+}
+
 // Cancel cancels one job. If other jobs share its execution the run
 // continues for them and only this job reports canceled; the last
 // attached job aborts the execution (queued executions are skipped by
@@ -398,6 +474,19 @@ func (m *Manager) JobCount() int {
 	defer m.mu.Unlock()
 	return len(m.jobs)
 }
+
+// Store exposes the durable result store, or nil when persistence is
+// disabled. The campaign engine persists its own state records (point
+// statuses + aggregate) in the same store, keyed under the campaign's
+// content address, so campaigns survive daemon restarts alongside the
+// job reports they depend on. The manager still owns the store's
+// lifecycle; callers must tolerate ErrClosed after Shutdown.
+func (m *Manager) Store() *resultstore.Store { return m.opts.Store }
+
+// SSEHeartbeat reports the configured idle-stream heartbeat interval
+// (0 = disabled), so secondary APIs (campaigns) serve SSE with the
+// same liveness contract as the job endpoints.
+func (m *Manager) SSEHeartbeat() time.Duration { return m.opts.SSEHeartbeat }
 
 // StoreStats snapshots the durable store's counters (zero without a
 // store).

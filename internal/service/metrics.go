@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/resultstore"
 	"repro/internal/units"
@@ -36,13 +37,27 @@ type Metrics struct {
 	// (from FaultInjected telemetry; zero unless jobs enable injection).
 	FaultsInjected atomic.Uint64
 
+	// Campaign accounting (filled by internal/campaign through the
+	// manager it submits points to).
+	CampaignsActive       atomic.Int64  // campaigns currently expanding or running
+	CampaignsCompleted    atomic.Uint64 // campaigns that reached done
+	CampaignPointsRun     atomic.Uint64 // points that started a fresh execution
+	CampaignPointsDeduped atomic.Uint64 // points served by an existing execution/cache/store
+
 	// Live state.
 	Running atomic.Int64
+
+	// startedAt anchors the process-uptime gauge; NewManager stamps it.
+	startedAt time.Time
 
 	mu           sync.Mutex
 	stageSeconds map[string]float64
 	stageJoules  map[string]float64
 }
+
+// BuildVersion labels the greenvizd_build_info metric; the daemon's
+// main overrides it from its build metadata when available.
+var BuildVersion = "dev"
 
 // addStageTime accumulates one stage execution's virtual duration.
 func (m *Metrics) addStageTime(phase string, d units.Seconds) {
@@ -71,8 +86,13 @@ func (m *Metrics) addStageEnergy(phase string, e units.Joules) {
 func (m *Metrics) WriteTo(w io.Writer, queueDepth, cacheEntries, jobs int, store resultstore.Stats) {
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)
+	fmt.Fprintf(w, "greenvizd_build_info{version=%q,go_version=%q} 1\n", BuildVersion, runtime.Version())
 	fmt.Fprintf(w, "greenvizd_cache_entries %d\n", cacheEntries)
 	fmt.Fprintf(w, "greenvizd_cache_hits_total %d\n", m.CacheHits.Load())
+	fmt.Fprintf(w, "greenvizd_campaign_points_deduped_total %d\n", m.CampaignPointsDeduped.Load())
+	fmt.Fprintf(w, "greenvizd_campaign_points_run_total %d\n", m.CampaignPointsRun.Load())
+	fmt.Fprintf(w, "greenvizd_campaigns_active %d\n", m.CampaignsActive.Load())
+	fmt.Fprintf(w, "greenvizd_campaigns_completed_total %d\n", m.CampaignsCompleted.Load())
 	fmt.Fprintf(w, "greenvizd_executions_total %d\n", m.Executions.Load())
 	fmt.Fprintf(w, "greenvizd_faults_injected_total %d\n", m.FaultsInjected.Load())
 	fmt.Fprintf(w, "greenvizd_go_gc_cycles_total %d\n", mem.NumGC)
@@ -87,6 +107,11 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, cacheEntries, jobs int, store
 	fmt.Fprintf(w, "greenvizd_jobs_running %d\n", m.Running.Load())
 	fmt.Fprintf(w, "greenvizd_jobs_submitted_total %d\n", m.Submitted.Load())
 	fmt.Fprintf(w, "greenvizd_jobs_tracked %d\n", jobs)
+	uptime := 0.0
+	if !m.startedAt.IsZero() {
+		uptime = time.Since(m.startedAt).Seconds()
+	}
+	fmt.Fprintf(w, "greenvizd_process_uptime_seconds %.3f\n", uptime)
 	fmt.Fprintf(w, "greenvizd_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "greenvizd_store_bytes %d\n", store.Bytes)
 	fmt.Fprintf(w, "greenvizd_store_corruptions_total %d\n", store.Corruptions)

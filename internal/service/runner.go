@@ -57,6 +57,11 @@ func runSpec(ctx context.Context, spec JobSpec, tel *jobTelemetry) ([]byte, erro
 		if err != nil {
 			return nil, err
 		}
+		if spec.PowerCapWatts > 0 {
+			// The DVFS axis: a RAPL PL1-style cap throttles the CPU
+			// model's operating frequency to hold package power here.
+			platform.PackagePowerCap = units.Watts(spec.PowerCapWatts)
+		}
 		cs := core.CaseStudies()[spec.Case-1]
 		var result *core.RunResult
 		if p.Clustered() {

@@ -70,6 +70,29 @@ type JobSpec struct {
 	// job's content address: submits differing only here share one
 	// cached result.
 	KernelWorkers int `json:"kernel_workers,omitempty"`
+
+	// PowerCapWatts, when positive, applies a RAPL PL1-style package
+	// power limit to the platform (pipeline jobs only): the CPU model
+	// throttles its DVFS operating point to hold package power at the
+	// cap, stretching compute phases. This is the frequency axis of a
+	// campaign sweep; it changes run output, so it is part of the
+	// content address.
+	PowerCapWatts float64 `json:"power_cap_watts,omitempty"`
+
+	// The ablation knobs below map one-to-one onto AppConfig fields
+	// (pipeline jobs only) so campaigns can sweep them; all are part of
+	// the content address via the config's canonical form.
+	//
+	// InsituNoSync skips the in-situ pipeline's per-frame fsync.
+	InsituNoSync bool `json:"insitu_nosync,omitempty"`
+	// CompressInsitu DEFLATE-compresses the in-situ reduced product.
+	CompressInsitu bool `json:"compress_insitu,omitempty"`
+	// AsyncCheckpoint lets post-processing checkpoints drain in the
+	// background instead of fsyncing each one.
+	AsyncCheckpoint bool `json:"async_checkpoint,omitempty"`
+	// CinemaVariants renders that many extra parameterized views per
+	// in-situ event (0 = off; max 64).
+	CinemaVariants int `json:"cinema_variants,omitempty"`
 }
 
 // Job kinds.
@@ -114,11 +137,20 @@ func (s JobSpec) Normalized() (JobSpec, error) {
 	if n.KernelWorkers < 0 || n.KernelWorkers > 1024 {
 		return n, fmt.Errorf("kernel_workers %d out of range 0..1024", n.KernelWorkers)
 	}
+	if n.PowerCapWatts < 0 || n.PowerCapWatts > 1e4 {
+		return n, fmt.Errorf("power_cap_watts %g out of range 0..10000", n.PowerCapWatts)
+	}
+	if n.CinemaVariants < 0 || n.CinemaVariants > 64 {
+		return n, fmt.Errorf("cinema_variants %d out of range 0..64", n.CinemaVariants)
+	}
 
 	switch n.Kind {
 	case KindExperiment:
 		if n.Pipeline != "" || n.App != "" || n.Device != "" || n.Case != 0 {
 			return n, fmt.Errorf("experiment jobs take no pipeline fields")
+		}
+		if n.PowerCapWatts != 0 || n.InsituNoSync || n.CompressInsitu || n.AsyncCheckpoint || n.CinemaVariants != 0 {
+			return n, fmt.Errorf("experiment jobs take no pipeline knobs (power cap, nosync, compress, async, cinema)")
 		}
 		if n.Experiment == "all" {
 			return n, fmt.Errorf("submit experiments individually (see GET /v1/experiments)")
@@ -168,6 +200,10 @@ func (s JobSpec) Config() (core.AppConfig, error) {
 	// KernelWorkers must land before ConfigureApp: the ocean preset
 	// captures it when wiring its solver constructor.
 	cfg.KernelWorkers = s.KernelWorkers
+	cfg.InsituNoSync = s.InsituNoSync
+	cfg.CompressInsitu = s.CompressInsitu
+	cfg.AsyncCheckpoint = s.AsyncCheckpoint
+	cfg.CinemaVariants = s.CinemaVariants
 	if err := core.ConfigureApp(&cfg, s.App); err != nil {
 		return cfg, err
 	}
@@ -200,8 +236,11 @@ func (s JobSpec) Digest() (string, error) {
 	}
 	buf := digestBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
-	fmt.Fprintf(buf, "v1 kind:%s exp:%s pipe:%s app:%s dev:%s case:%d seed:%d real:%d fio:%d faults:%q\n",
-		n.Kind, n.Experiment, n.Pipeline, n.App, n.Device, n.Case, n.Seed, n.RealSubsteps, n.FioGiB, n.Faults)
+	// The ablation knobs (nosync, compress, async, cinema) reach the
+	// digest through cfg's canonical form below; PowerCapWatts modifies
+	// the platform rather than the config, so it is written explicitly.
+	fmt.Fprintf(buf, "v1 kind:%s exp:%s pipe:%s app:%s dev:%s case:%d seed:%d real:%d fio:%d faults:%q pcap:%g\n",
+		n.Kind, n.Experiment, n.Pipeline, n.App, n.Device, n.Case, n.Seed, n.RealSubsteps, n.FioGiB, n.Faults, n.PowerCapWatts)
 	buf.WriteString("cfg:")
 	cfg.WriteCanonical(buf)
 	sum := sha256.Sum256(buf.Bytes())

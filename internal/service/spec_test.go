@@ -42,6 +42,11 @@ func TestNormalizedRejects(t *testing.T) {
 		{Kind: "party", Experiment: "fig4"},      // unknown kind
 		{Kind: KindPipeline, Experiment: "fig4"}, // kind/field mismatch
 		{Experiment: "table3", FioGiB: -2},       // bad fio size
+		{Experiment: "fig4", PowerCapWatts: 50},  // pipeline knob on experiment
+		{Experiment: "fig4", InsituNoSync: true}, // pipeline knob on experiment
+		{Pipeline: "post", PowerCapWatts: -1},    // negative cap
+		{Pipeline: "post", PowerCapWatts: 2e4},   // absurd cap
+		{Pipeline: "insitu", CinemaVariants: 65}, // over variant cap
 	}
 	for _, s := range bad {
 		if _, err := s.Normalized(); err == nil {
@@ -89,6 +94,14 @@ func TestDigestSensitivity(t *testing.T) {
 		"substeps": {Pipeline: "insitu", Case: 3, RealSubsteps: 2},
 		"faults":   {Pipeline: "insitu", Case: 3, Faults: "bitrot=1e-9"},
 		"kind":     {Experiment: "fig4"},
+		// The campaign sweep knobs are all digest-affecting: the power
+		// cap via its explicit canonical line, the ablation knobs via the
+		// config's canonical "knobs" form.
+		"power_cap":        {Pipeline: "insitu", Case: 3, PowerCapWatts: 80},
+		"insitu_nosync":    {Pipeline: "insitu", Case: 3, InsituNoSync: true},
+		"compress_insitu":  {Pipeline: "insitu", Case: 3, CompressInsitu: true},
+		"async_checkpoint": {Pipeline: "insitu", Case: 3, AsyncCheckpoint: true},
+		"cinema_variants":  {Pipeline: "insitu", Case: 3, CinemaVariants: 2},
 	}
 	for name, v := range variants {
 		d, err := v.Digest()

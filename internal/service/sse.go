@@ -1,0 +1,90 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// sse.go is the one Server-Sent-Events writer in the repo: the job
+// event stream (GET /v1/jobs/{id}/events) and the campaign progress
+// stream (GET /v1/campaigns/{id}/events) both serialize through
+// StreamSSE, so wire framing, replay-then-follow semantics, and the
+// idle-stream heartbeat behave identically on every endpoint.
+
+// SSEEvent is one wire event: an SSE "event:" name and its JSON
+// "data:" payload.
+type SSEEvent struct {
+	Name string
+	Data []byte
+}
+
+// StreamSSE serves an append-only event sequence as Server-Sent
+// Events. next is the replay-then-follow cursor: given the number of
+// events already written it returns the events past that index,
+// whether the stream is closed (terminal event emitted), and a channel
+// that closes on the next append. StreamSSE replays everything
+// available, then follows live until the stream closes or the client
+// disconnects.
+//
+// When heartbeat is positive, an idle stream (no event for a full
+// heartbeat interval) emits a `: heartbeat` comment line and flushes
+// it, so proxies and load balancers with read-idle timeouts do not
+// sever long-lived watches (a campaign can sit minutes between point
+// completions). Comments are invisible to EventSource clients by
+// specification. Zero or negative disables heartbeats.
+func StreamSSE(w http.ResponseWriter, r *http.Request, heartbeat time.Duration, next func(idx int) ([]SSEEvent, bool, <-chan struct{})) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	var beat *time.Timer
+	var beatC <-chan time.Time
+	if heartbeat > 0 {
+		beat = time.NewTimer(heartbeat)
+		beatC = beat.C
+		defer beat.Stop()
+	}
+
+	idx := 0
+	for {
+		events, closed, wake := next(idx)
+		for _, ev := range events {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, ev.Data)
+		}
+		idx += len(events)
+		if len(events) > 0 {
+			fl.Flush()
+			if beat != nil {
+				// Restart the idle clock: a real event is a liveness
+				// signal, so the next heartbeat is due a full interval
+				// from now.
+				if !beat.Stop() {
+					select {
+					case <-beat.C:
+					default:
+					}
+				}
+				beat.Reset(heartbeat)
+			}
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-beatC:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+			beat.Reset(heartbeat)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -8,9 +8,11 @@
 #   1. The comparison pass: the hot-path micro-benchmarks (render,
 #      checkpoint encode, fault hooks, no-consumer stage dispatch, the
 #      telemetry bus's no-consumer and fan-out emit paths),
-#      the greenvizd service-layer benchmarks, and the result-store
-#      pass (warm-hit read+CRC-verify latency vs. the cold durable
-#      write path, plus steady-state LRU eviction throughput), at the
+#      the greenvizd service-layer benchmarks, the campaign engine's
+#      sweep expansion and report aggregation over a 256-point spec,
+#      and the result-store pass (warm-hit read+CRC-verify latency vs.
+#      the cold durable write path, plus steady-state LRU eviction
+#      throughput), at the
 #      default GOMAXPROCS with a time-based benchtime so the numbers
 #      are steady-state. Each benchmark runs COUNT (default 3) times and
 #      the minimum ns/op is recorded — min-of-N is far more stable
@@ -35,15 +37,15 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 raw="$(mktemp)"
 rawk="$(mktemp)"
 trap 'rm -f "$raw" "$rawk"' EXIT
 
 go test -run '^$' \
-    -bench '^(BenchmarkRender|BenchmarkCheckpointEncode|BenchmarkHooksDisabled|BenchmarkHooksEnabled|BenchmarkDoNoConsumer|BenchmarkTelemetryNoConsumer|BenchmarkTelemetryFanout|BenchmarkServiceThroughput|BenchmarkSubmitDedup|BenchmarkSpecDigest|BenchmarkStoreGetHit|BenchmarkStorePutCold|BenchmarkStoreEvict)$' \
+    -bench '^(BenchmarkRender|BenchmarkCheckpointEncode|BenchmarkHooksDisabled|BenchmarkHooksEnabled|BenchmarkDoNoConsumer|BenchmarkTelemetryNoConsumer|BenchmarkTelemetryFanout|BenchmarkServiceThroughput|BenchmarkSubmitDedup|BenchmarkSpecDigest|BenchmarkStoreGetHit|BenchmarkStorePutCold|BenchmarkStoreEvict|BenchmarkCampaignExpand|BenchmarkCampaignAggregate)$' \
     -benchmem -benchtime "${BENCHTIME:-1s}" -count "${COUNT:-3}" \
-    . ./internal/fault ./internal/core/stagegraph ./internal/telemetry ./internal/service ./internal/resultstore | tee "$raw"
+    . ./internal/fault ./internal/core/stagegraph ./internal/telemetry ./internal/service ./internal/resultstore ./internal/campaign | tee "$raw"
 
 go test -run '^$' \
     -bench '^(BenchmarkSuiteAllSerial|BenchmarkSuiteAllParallel)$' \
