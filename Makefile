@@ -44,9 +44,16 @@ golden-update:
 	$(GO) test -run '^TestGolden' -timeout 30m -update ./internal/experiments
 	$(GO) test -run '^TestGoldenCampaignReport$$' -timeout 10m -update ./internal/campaign
 
-# bench records the benchmark set into BENCH_pr9.json.
+# bench records the benchmark set into BENCH_pr10.json.
 bench:
 	scripts/bench.sh
+
+# profile captures serial CPU + heap pprof profiles for one experiment
+# or pipeline (TARGET, default fig4) into PROFILE_DIR (default
+# profiles/) and prints the top consumers. See DESIGN.md §12.
+.PHONY: profile
+profile:
+	scripts/profile.sh $(or $(TARGET),fig4) $(or $(PROFILE_DIR),profiles)
 
 # bench-check reruns the benchmark set into a scratch file and fails
 # if any benchmark shared with the newest committed BENCH_*.json
@@ -60,4 +67,5 @@ bench-check:
 clean:
 	rm -f greenviz greenvizd BENCH_check.json \
 		BENCH_pr1.json BENCH_pr2.json BENCH_pr4.json BENCH_pr6.json \
-		BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json
+		BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json BENCH_pr10.json
+	rm -rf profiles

@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,7 +38,13 @@ import (
 	"repro/internal/units"
 )
 
+// main defers all work to run so the profile writers flush on every
+// exit path — os.Exit skips defers, so no other function calls it.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		expID        = flag.String("experiment", "", "experiment id (see -list), or \"all\"")
 		list         = flag.Bool("list", false, "list available experiments")
@@ -59,6 +66,9 @@ func main() {
 		events    = flag.Bool("events", false, "narrate the run's telemetry stream (stages, retries, faults) on stderr (pipeline mode)")
 		format    = flag.String("format", "text", "pipeline-mode output format: text, json (the service's report encoding)")
 		quiet     = flag.Bool("quiet", false, "suppress the per-experiment wall-time progress on stderr")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap (alloc) profile to this file at exit")
 	)
 	// Usage lists the experiment registry and pipeline names, derived
 	// from the registries themselves so new entries appear automatically.
@@ -72,37 +82,68 @@ func main() {
 	}
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "greenviz: cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "greenviz: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "greenviz: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			// alloc_space is the view the allocation-elimination work
+			// cares about; the profile also carries inuse_space.
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "greenviz: memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	faultCfg, err := greenviz.ParseFaultSpec(*faults)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *campaignPath != "" {
 		if err := runCampaign(*campaignPath, *workers, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *pipeline != "" {
 		if err := runPipeline(*pipeline, *app, *device, *caseIdx, *seed, *realSubsteps, *kernWorkers, *framesDir, *format, faultCfg, *events); err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list {
 		for _, e := range greenviz.Experiments() {
 			fmt.Printf("  %-12s %s\n", e.ID, e.Description)
 		}
-		return
+		return 0
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "greenviz: pass -experiment <id> or -list")
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := greenviz.DefaultConfig()
@@ -132,7 +173,7 @@ func main() {
 		reports, err := greenviz.RunAllExperiments(context.Background(), suite, *workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		// Reports to stdout in registry order; progress and the timing
 		// footer go to stderr so stdout stays byte-identical at any
@@ -147,7 +188,7 @@ func main() {
 		r, err := greenviz.RunExperiment(suite, *expID)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(r.Block())
 	}
@@ -155,9 +196,10 @@ func main() {
 	if *csvDir != "" {
 		if err := dumpCSVs(suite, *csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "greenviz: csv dump: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // pipelineFlags lists the -pipeline names from the core registry.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -186,27 +187,35 @@ func renderReport(s Spec, digest string, points []Point, outcomes []pointOutcome
 	}
 	fmt.Fprintf(&b, "points: %d expanded, %d done, %d failed\n", len(points), done, failed)
 
-	// Point table, expansion order.
-	header := append([]string{"#"}, axisNames(s)...)
+	// Point table, expansion order. Row cells live in one flat arena
+	// sized up front, so a 256-point table costs two slice allocations
+	// instead of one per row.
+	ncols := 1 + len(s.Axes) + 4
+	header := append(make([]string, 0, ncols), "#")
+	header = append(header, axisNames(s)...)
 	header = append(header, "energy", "time", "frames/kJ", "state")
-	rows := [][]string{header}
+	rows := make([][]string, 0, len(points)+1)
+	rows = append(rows, header)
+	arena := make([]string, 0, len(points)*ncols)
 	for i, p := range points {
-		row := append([]string{fmt.Sprintf("%d", i)}, p.Values...)
+		start := len(arena)
+		arena = append(arena, strconv.Itoa(i))
+		arena = append(arena, p.Values...)
 		o := outcomes[i]
 		if o.Result != nil {
-			row = append(row,
+			arena = append(arena,
 				o.Result.Energy.String(),
 				o.Result.ExecTime.String(),
-				fmt.Sprintf("%.2f", o.Result.EnergyEfficiency()),
+				strconv.FormatFloat(o.Result.EnergyEfficiency(), 'f', 2, 64),
 				string(o.State))
 		} else {
 			note := string(o.State)
 			if o.Err != "" {
 				note += ": " + o.Err
 			}
-			row = append(row, "-", "-", "-", note)
+			arena = append(arena, "-", "-", "-", note)
 		}
-		rows = append(rows, row)
+		rows = append(rows, arena[start:len(arena):len(arena)])
 	}
 	b.WriteString("\npoint results\n")
 	writeTable(&b, rows)
@@ -229,13 +238,13 @@ func renderReport(s Spec, digest string, points []Point, outcomes []pointOutcome
 				sumT += float64(r.ExecTime)
 				sumF += r.EnergyEfficiency()
 			}
-			row := []string{v, fmt.Sprintf("%d", n)}
+			row := []string{v, strconv.Itoa(n)}
 			if n > 0 {
 				fn := float64(n)
 				row = append(row,
 					units.Joules(sumE/fn).String(),
 					units.Seconds(sumT/fn).String(),
-					fmt.Sprintf("%.2f", sumF/fn))
+					strconv.FormatFloat(sumF/fn, 'f', 2, 64))
 			} else {
 				row = append(row, "-", "-", "-")
 			}
@@ -298,12 +307,25 @@ func writeIndentedTable(b *bytes.Buffer, rows [][]string, indent string) {
 			}
 		}
 	}
+	// Pad into one reused line buffer and trim its tail, emitting
+	// exactly the join-then-TrimRight bytes without the per-cell
+	// strings.Repeat and per-row Join/TrimRight garbage.
+	var line []byte
 	for _, row := range rows {
-		line := make([]string, len(row))
+		line = append(line[:0], indent...)
 		for i, cell := range row {
-			line[i] = cell + strings.Repeat(" ", widths[i]-len(cell))
+			if i > 0 {
+				line = append(line, ' ', ' ')
+			}
+			line = append(line, cell...)
+			for pad := widths[i] - len(cell); pad > 0; pad-- {
+				line = append(line, ' ')
+			}
 		}
-		b.WriteString(strings.TrimRight(indent+strings.Join(line, "  "), " "))
+		for len(line) > 0 && line[len(line)-1] == ' ' {
+			line = line[:len(line)-1]
+		}
+		b.Write(line)
 		b.WriteByte('\n')
 	}
 }

@@ -28,7 +28,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"io"
 	"strconv"
 	"strings"
 
@@ -250,6 +249,10 @@ func Expand(s Spec) ([]Point, error) {
 
 	points := make([]Point, 0, total)
 	values := make([]string, len(s.Axes))
+	// One flat backing array serves every point's Values slice — the
+	// per-point copies are views into it (full-capacity slicing keeps
+	// them immutable to each other's appends).
+	flat := make([]string, 0, total*len(s.Axes))
 	var label strings.Builder
 	for i := 0; i < total; i++ {
 		rem := i
@@ -267,7 +270,9 @@ func Expand(s Spec) ([]Point, error) {
 			if k > 0 {
 				label.WriteByte(' ')
 			}
-			fmt.Fprintf(&label, "%s=%s", ax.Name, values[k])
+			label.WriteString(ax.Name)
+			label.WriteByte('=')
+			label.WriteString(values[k])
 		}
 		norm, err := spec.Normalized()
 		if err != nil {
@@ -276,14 +281,17 @@ func Expand(s Spec) ([]Point, error) {
 		if norm.Kind != service.KindPipeline {
 			return nil, fmt.Errorf("point %d (%s): campaigns sweep pipeline jobs, got kind %q", i, label.String(), norm.Kind)
 		}
-		digest, err := norm.Digest()
+		// The spec was just normalized, so skip Digest's re-validation.
+		digest, err := norm.DigestNormalized()
 		if err != nil {
 			return nil, fmt.Errorf("point %d (%s): %w", i, label.String(), err)
 		}
+		start := len(flat)
+		flat = append(flat, values...)
 		points = append(points, Point{
 			Index:  i,
 			Label:  label.String(),
-			Values: append([]string(nil), values...),
+			Values: flat[start:len(flat):len(flat)],
 			Spec:   norm,
 			Digest: digest,
 		})
@@ -291,30 +299,95 @@ func Expand(s Spec) ([]Point, error) {
 	return points, nil
 }
 
-// writeCanonical writes the campaign's canonical form: the normalized
-// sweep declaration plus every expanded point's job digest. Each job
-// digest already covers the canonical form of the AppConfig the point
-// derives (AppConfig.WriteCanonical), so the campaign address commits
-// to the exact run identities, not just the surface spelling of the
-// spec.
-func writeCanonical(w io.Writer, s Spec, points []Point) {
-	fmt.Fprintf(w, "campaign v1 name:%q objective:%s maxpoints:%d\n", s.Name, s.Objective, s.MaxPoints)
-	fmt.Fprintf(w, "base:%+v\n", s.Base)
+// appendCanonical appends the campaign's canonical form: the
+// normalized sweep declaration plus every expanded point's job digest.
+// Each job digest already covers the canonical form of the AppConfig
+// the point derives (AppConfig.WriteCanonical), so the campaign
+// address commits to the exact run identities, not just the surface
+// spelling of the spec. The strconv appends produce byte-for-byte the
+// fmt form they replaced (campaign_test.go keeps the fmt version as
+// the reference):
+//
+//	campaign v1 name:%q objective:%s maxpoints:%d\n
+//	base:%+v\n
+//	axis %s:%q\n   (per axis)
+//	point %d %s\n  (per point)
+func appendCanonical(b []byte, s Spec, points []Point) []byte {
+	b = append(b, "campaign v1 name:"...)
+	b = strconv.AppendQuote(b, s.Name)
+	b = append(b, " objective:"...)
+	b = append(b, s.Objective...)
+	b = append(b, " maxpoints:"...)
+	b = strconv.AppendInt(b, int64(s.MaxPoints), 10)
+	b = append(b, "\nbase:"...)
+	b = appendJobSpec(b, s.Base)
+	b = append(b, '\n')
 	for _, ax := range s.Axes {
-		fmt.Fprintf(w, "axis %s:%q\n", ax.Name, ax.Values)
+		b = append(b, "axis "...)
+		b = append(b, ax.Name...)
+		b = append(b, ":["...)
+		for i, v := range ax.Values {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = strconv.AppendQuote(b, v)
+		}
+		b = append(b, "]\n"...)
 	}
 	for _, p := range points {
-		fmt.Fprintf(w, "point %d %s\n", p.Index, p.Digest)
+		b = append(b, "point "...)
+		b = strconv.AppendInt(b, int64(p.Index), 10)
+		b = append(b, ' ')
+		b = append(b, p.Digest...)
+		b = append(b, '\n')
 	}
+	return b
+}
+
+// appendJobSpec appends the %+v form of a service.JobSpec value (flat
+// struct of strings, ints, bools — field order as declared).
+func appendJobSpec(b []byte, s service.JobSpec) []byte {
+	b = append(b, "{Kind:"...)
+	b = append(b, s.Kind...)
+	b = append(b, " Experiment:"...)
+	b = append(b, s.Experiment...)
+	b = append(b, " Pipeline:"...)
+	b = append(b, s.Pipeline...)
+	b = append(b, " App:"...)
+	b = append(b, s.App...)
+	b = append(b, " Device:"...)
+	b = append(b, s.Device...)
+	b = append(b, " Case:"...)
+	b = strconv.AppendInt(b, int64(s.Case), 10)
+	b = append(b, " Seed:"...)
+	b = strconv.AppendUint(b, s.Seed, 10)
+	b = append(b, " RealSubsteps:"...)
+	b = strconv.AppendInt(b, int64(s.RealSubsteps), 10)
+	b = append(b, " FioGiB:"...)
+	b = strconv.AppendInt(b, int64(s.FioGiB), 10)
+	b = append(b, " Faults:"...)
+	b = append(b, s.Faults...)
+	b = append(b, " KernelWorkers:"...)
+	b = strconv.AppendInt(b, int64(s.KernelWorkers), 10)
+	b = append(b, " PowerCapWatts:"...)
+	b = strconv.AppendFloat(b, s.PowerCapWatts, 'g', -1, 64)
+	b = append(b, " InsituNoSync:"...)
+	b = strconv.AppendBool(b, s.InsituNoSync)
+	b = append(b, " CompressInsitu:"...)
+	b = strconv.AppendBool(b, s.CompressInsitu)
+	b = append(b, " AsyncCheckpoint:"...)
+	b = strconv.AppendBool(b, s.AsyncCheckpoint)
+	b = append(b, " CinemaVariants:"...)
+	b = strconv.AppendInt(b, int64(s.CinemaVariants), 10)
+	return append(b, '}')
 }
 
 // Digest content-addresses a normalized, expanded campaign: a hex
 // SHA-256 over its canonical form. Equal digests mean byte-identical
 // campaign reports.
 func Digest(s Spec, points []Point) string {
-	h := sha256.New()
-	writeCanonical(h, s, points)
-	return hex.EncodeToString(h.Sum(nil))
+	sum := sha256.Sum256(appendCanonical(nil, s, points))
+	return hex.EncodeToString(sum[:])
 }
 
 // stateKey derives the resultstore key campaign state persists under:

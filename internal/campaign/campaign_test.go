@@ -3,6 +3,8 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -190,6 +192,47 @@ func TestDigestSensitivity(t *testing.T) {
 		mod(&spec)
 		if expandAndDigest(spec) == base {
 			t.Errorf("%s change did not move the campaign digest", name)
+		}
+	}
+}
+
+// TestDigestMatchesFmtReference pins the campaign canonical form to
+// the fmt.Fprintf formulation the strconv appender replaced: any
+// textual drift would silently re-key every persisted campaign.
+func TestDigestMatchesFmtReference(t *testing.T) {
+	specs := []Spec{
+		testSpec(),
+		func() Spec {
+			s := testSpec()
+			s.Objective = ObjectiveTime
+			s.Base.Faults = "bitrot=0.01"
+			s.Axes = append(s.Axes, Axis{Name: "power_cap_watts", Values: []string{"0", "80"}})
+			return s
+		}(),
+	}
+	for _, spec := range specs {
+		norm, err := spec.Normalized()
+		if err != nil {
+			t.Fatalf("Normalized: %v", err)
+		}
+		points, err := Expand(norm)
+		if err != nil {
+			t.Fatalf("Expand: %v", err)
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "campaign v1 name:%q objective:%s maxpoints:%d\n",
+			norm.Name, norm.Objective, norm.MaxPoints)
+		fmt.Fprintf(&buf, "base:%+v\n", norm.Base)
+		for _, ax := range norm.Axes {
+			fmt.Fprintf(&buf, "axis %s:%q\n", ax.Name, ax.Values)
+		}
+		for _, p := range points {
+			fmt.Fprintf(&buf, "point %d %s\n", p.Index, p.Digest)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		want := hex.EncodeToString(sum[:])
+		if got := Digest(norm, points); got != want {
+			t.Errorf("campaign %q: digest %s != fmt reference %s", norm.Name, got, want)
 		}
 	}
 }

@@ -3,8 +3,8 @@ package core
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"io"
+	"sync"
 )
 
 // digest.go canonicalizes an AppConfig into a content address. The
@@ -29,47 +29,26 @@ import (
 // field order is fixed, defaults are applied before hashing, and every
 // value is written in an unambiguous textual form.
 func (cfg AppConfig) CanonicalDigest() string {
-	h := sha256.New()
-	writeCanonical(h, cfg)
-	return hex.EncodeToString(h.Sum(nil))
+	bp := canonicalBufPool.Get().(*[]byte)
+	b := cfg.AppendCanonical((*bp)[:0])
+	sum := sha256.Sum256(b)
+	*bp = b
+	canonicalBufPool.Put(bp)
+	return hex.EncodeToString(sum[:])
 }
 
 // WriteCanonical writes the canonical form CanonicalDigest hashes to w.
 // Callers composing larger cache keys (the service's job digest) append
-// it to their own buffer instead of paying for a nested hex digest.
-func (cfg AppConfig) WriteCanonical(w io.Writer) { writeCanonical(w, cfg) }
-
-// writeCanonical writes the canonical one-field-per-line form. It is
-// separate from CanonicalDigest so tests can inspect the exact bytes
-// being fingerprinted.
-func writeCanonical(w io.Writer, cfg AppConfig) {
-	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-	p("v1\n")
-	// heat.Params is a flat value struct (Sources are values too), so
-	// %+v is deterministic. Workers (like KernelWorkers, and
-	// Render.Workers below) only partitions the kernels' work — output
-	// bytes are identical at any setting — so it is zeroed out of the
-	// content address.
-	hp := cfg.Heat
-	hp.Workers = 0
-	p("heat:%+v\n", hp)
-	p("substeps:%d real:%d\n", cfg.SubstepsPerIteration, cfg.RealSubsteps)
-	p("payload ckpt:%d insitu:%d\n", cfg.CheckpointPayload, cfg.InsituPayload)
-	// Render holds a *Colormap; hash the remaining fields explicitly so
-	// no pointer address leaks into the digest.
-	p("render:%dx%d lo:%g hi:%g iso:%v isocolor:%v colormap:%t\n",
-		cfg.Render.Width, cfg.Render.Height, cfg.Render.Lo, cfg.Render.Hi,
-		cfg.Render.Isolines, cfg.Render.IsolineColor, cfg.Render.Colormap != nil)
-	p("ckptpolicy:%d\n", cfg.CheckpointPolicy)
-	p("knobs nosync:%t compress:%t cinema:%d async:%t retain:%t\n",
-		cfg.InsituNoSync, cfg.CompressInsitu, cfg.CinemaVariants,
-		cfg.AsyncCheckpoint, cfg.RetainFrames)
-	if cfg.Faults != nil && cfg.Faults.Enabled() {
-		p("faults:%+v\n", *cfg.Faults)
-	} else {
-		p("faults:off\n")
-	}
-	p("retry:%+v\n", cfg.Retry.WithDefaults())
-	// Extension points: presence only (see package comment above).
-	p("custom sim:%t store:%t\n", cfg.NewSimulator != nil, cfg.Store != nil)
+// it to their own buffer instead of paying for a nested hex digest —
+// or call AppendCanonical directly to skip the io.Writer boundary too.
+func (cfg AppConfig) WriteCanonical(w io.Writer) {
+	bp := canonicalBufPool.Get().(*[]byte)
+	b := cfg.AppendCanonical((*bp)[:0])
+	w.Write(b)
+	*bp = b
+	canonicalBufPool.Put(bp)
 }
+
+// canonicalBufPool recycles canonical-form scratch buffers: every
+// submit, cache probe, and campaign point digests a config.
+var canonicalBufPool = sync.Pool{New: func() any { return new([]byte) }}

@@ -68,7 +68,7 @@ func TestCanonicalFormNoAddresses(t *testing.T) {
 	cfg := DefaultAppConfig()
 	cfg.Render.Colormap = nil // exercised via the %t presence bit
 	var sb strings.Builder
-	writeCanonical(&sb, cfg)
+	cfg.WriteCanonical(&sb)
 	if strings.Contains(sb.String(), "0x") {
 		t.Fatalf("canonical form contains a pointer address:\n%s", sb.String())
 	}

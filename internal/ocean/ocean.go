@@ -111,30 +111,62 @@ func NewSolver(p Params) *Solver {
 	hdty := p.Depth * p.DT / p.DY
 	f := p.Coriolis * p.DT
 	// Bands cover interior rows: band index i is grid row i+1.
+	// Both passes hoist equal-length row slices so the prove pass drops
+	// the per-cell bounds checks, and roll the gradient row through
+	// registers: the writes to the next-step buffers could alias the
+	// current-step fields for all the compiler knows, so without the
+	// rolling window every neighbor is reloaded each cell. The arithmetic
+	// is the exact expression of the naive form — output bits unchanged.
 	s.momentumPass = func(lo, hi int) {
-		h, u, v := s.h, s.u, s.v
-		nu, nv := s.nu, s.nv
 		for y := lo + 1; y < hi+1; y++ {
 			row := y * nx
-			up, down := row-nx, row+nx
-			for x := 1; x < nx-1; x++ {
-				i := row + x
-				nu.Data[i] = u.Data[i] - gdtx*(h.Data[i+1]-h.Data[i-1])/2 + f*v.Data[i]
-				nv.Data[i] = v.Data[i] - gdty*(h.Data[down+x]-h.Data[up+x])/2 - f*u.Data[i]
+			h := s.h.Data[row : row+nx]
+			hup := s.h.Data[row-nx : row]
+			hdn := s.h.Data[row+nx : row+2*nx]
+			u := s.u.Data[row : row+nx]
+			v := s.v.Data[row : row+nx]
+			nu := s.nu.Data[row : row+nx]
+			nv := s.nv.Data[row : row+nx]
+			// Interior-aligned equal-length views: ranging over the nu view
+			// bounds every index, so the loop body carries no bounds checks
+			// (verified with -d=ssa/check_bce).
+			no := nu[1 : nx-1]
+			nvo := nv[1 : 1+len(no)]
+			hn := h[2 : 2+len(no)]
+			ui := u[1 : 1+len(no)]
+			vi := v[1 : 1+len(no)]
+			upi := hup[1 : 1+len(no)]
+			dni := hdn[1 : 1+len(no)]
+			hl, hc := h[0], h[1]
+			for k := range no {
+				hr := hn[k]
+				ux, vx := ui[k], vi[k]
+				no[k] = ux - gdtx*(hr-hl)/2 + f*vx
+				nvo[k] = vx - gdty*(dni[k]-upi[k])/2 - f*ux
+				hl, hc = hc, hr
 			}
 		}
 	}
 	s.continuityPass = func(lo, hi int) {
-		h, u, v := s.h, s.u, s.v
-		nh := s.nh
 		for y := lo + 1; y < hi+1; y++ {
 			row := y * nx
-			up, down := row-nx, row+nx
-			for x := 1; x < nx-1; x++ {
-				i := row + x
-				nh.Data[i] = h.Data[i] -
-					hdtx*(u.Data[i+1]-u.Data[i-1])/2 -
-					hdty*(v.Data[down+x]-v.Data[up+x])/2
+			h := s.h.Data[row : row+nx]
+			u := s.u.Data[row : row+nx]
+			vup := s.v.Data[row-nx : row]
+			vdn := s.v.Data[row+nx : row+2*nx]
+			nh := s.nh.Data[row : row+nx]
+			no := nh[1 : nx-1]
+			hm := h[1 : 1+len(no)]
+			un := u[2 : 2+len(no)]
+			upi := vup[1 : 1+len(no)]
+			dni := vdn[1 : 1+len(no)]
+			ul, uc := u[0], u[1]
+			for k := range no {
+				ur := un[k]
+				no[k] = hm[k] -
+					hdtx*(ur-ul)/2 -
+					hdty*(dni[k]-upi[k])/2
+				ul, uc = uc, ur
 			}
 		}
 	}

@@ -373,3 +373,53 @@ func TestAPIExperimentReportMatchesCLI(t *testing.T) {
 		t.Errorf("report digest header mismatch")
 	}
 }
+
+// TestPprofEndpoints smoke-tests the mounted /debug/pprof handlers the
+// profiling harness (scripts/profile.sh, make profile) relies on for
+// live daemons: the index page lists the standard profiles, and the
+// heap and allocs profiles serve readable text in debug mode. The CPU
+// profile endpoint is skipped — it blocks for its sampling window.
+func TestPprofEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1})
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index: status %d", code)
+	} else {
+		for _, profile := range []string{"heap", "goroutine", "allocs"} {
+			if !strings.Contains(body, profile) {
+				t.Errorf("pprof index does not list %q", profile)
+			}
+		}
+	}
+	for _, path := range []string{
+		"/debug/pprof/heap?debug=1",
+		"/debug/pprof/allocs?debug=1",
+		"/debug/pprof/goroutine?debug=1",
+	} {
+		code, body := get(path)
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d", path, code)
+			continue
+		}
+		if !strings.Contains(body, "profile") && !strings.Contains(body, "goroutine") {
+			t.Errorf("%s: unrecognized body prefix %.60q", path, body)
+		}
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", code)
+	}
+}

@@ -21,10 +21,10 @@
 package service
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
@@ -218,7 +218,7 @@ func (s JobSpec) Config() (core.AppConfig, error) {
 // digestBufPool recycles the canonical-form buffer across Digest
 // calls: every submit, cache probe, and dedup check digests a spec, so
 // the normalization scratch should not be rebuilt per call.
-var digestBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+var digestBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // Digest returns the job's content address: a hex SHA-256 over the
 // normalized spec's canonical form plus the canonical form of the
@@ -230,21 +230,52 @@ func (s JobSpec) Digest() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	cfg, err := n.Config()
+	return n.DigestNormalized()
+}
+
+// DigestNormalized is Digest for a spec that is already in normalized
+// form, skipping the re-validation pass. Callers that hold the output
+// of Normalized — the campaign expander digests thousands of points
+// per submit — use this; anyone else wants Digest.
+func (s JobSpec) DigestNormalized() (string, error) {
+	cfg, err := s.Config()
 	if err != nil {
 		return "", err
 	}
-	buf := digestBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
+	bp := digestBufPool.Get().(*[]byte)
+	// The header is built with strconv appends producing byte-for-byte
+	// the fmt form it replaced (spec_test.go pins the exact bytes):
+	//   v1 kind:%s exp:%s pipe:%s app:%s dev:%s case:%d seed:%d real:%d fio:%d faults:%q pcap:%g\n
 	// The ablation knobs (nosync, compress, async, cinema) reach the
 	// digest through cfg's canonical form below; PowerCapWatts modifies
 	// the platform rather than the config, so it is written explicitly.
-	fmt.Fprintf(buf, "v1 kind:%s exp:%s pipe:%s app:%s dev:%s case:%d seed:%d real:%d fio:%d faults:%q pcap:%g\n",
-		n.Kind, n.Experiment, n.Pipeline, n.App, n.Device, n.Case, n.Seed, n.RealSubsteps, n.FioGiB, n.Faults, n.PowerCapWatts)
-	buf.WriteString("cfg:")
-	cfg.WriteCanonical(buf)
-	sum := sha256.Sum256(buf.Bytes())
-	digestBufPool.Put(buf)
+	b := append((*bp)[:0], "v1 kind:"...)
+	b = append(b, s.Kind...)
+	b = append(b, " exp:"...)
+	b = append(b, s.Experiment...)
+	b = append(b, " pipe:"...)
+	b = append(b, s.Pipeline...)
+	b = append(b, " app:"...)
+	b = append(b, s.App...)
+	b = append(b, " dev:"...)
+	b = append(b, s.Device...)
+	b = append(b, " case:"...)
+	b = strconv.AppendInt(b, int64(s.Case), 10)
+	b = append(b, " seed:"...)
+	b = strconv.AppendUint(b, s.Seed, 10)
+	b = append(b, " real:"...)
+	b = strconv.AppendInt(b, int64(s.RealSubsteps), 10)
+	b = append(b, " fio:"...)
+	b = strconv.AppendInt(b, int64(s.FioGiB), 10)
+	b = append(b, " faults:"...)
+	b = strconv.AppendQuote(b, s.Faults)
+	b = append(b, " pcap:"...)
+	b = strconv.AppendFloat(b, s.PowerCapWatts, 'g', -1, 64)
+	b = append(b, "\ncfg:"...)
+	b = cfg.AppendCanonical(b)
+	sum := sha256.Sum256(b)
+	*bp = b
+	digestBufPool.Put(bp)
 	return hex.EncodeToString(sum[:]), nil
 }
 

@@ -1,6 +1,10 @@
 package service
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -142,5 +146,51 @@ func TestDigestKernelWorkersInvariant(t *testing.T) {
 	}
 	if _, err := (JobSpec{Pipeline: "post", KernelWorkers: -1}).Digest(); err == nil {
 		t.Error("negative kernel_workers passed validation")
+	}
+}
+
+// TestDigestMatchesFmtReference pins the digest preimage to the
+// fmt.Fprintf formulation the strconv appender replaced: any textual
+// drift in the header or canonical form would silently re-key the
+// whole result cache.
+func TestDigestMatchesFmtReference(t *testing.T) {
+	specs := []JobSpec{
+		{Pipeline: "insitu", Case: 3},
+		{Pipeline: "post", App: "ocean", Device: "ssd", Seed: 7, PowerCapWatts: 42.5},
+		{Pipeline: "hybrid", Faults: "bitrot=0.01,readerr=0.001", CinemaVariants: 3},
+		{Experiment: "fig4"},
+		{Pipeline: "intransit", InsituNoSync: true, CompressInsitu: true, AsyncCheckpoint: true},
+	}
+	for _, s := range specs {
+		n, err := s.Normalized()
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		cfg, err := n.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "v1 kind:%s exp:%s pipe:%s app:%s dev:%s case:%d seed:%d real:%d fio:%d faults:%q pcap:%g\n",
+			n.Kind, n.Experiment, n.Pipeline, n.App, n.Device, n.Case, n.Seed, n.RealSubsteps, n.FioGiB, n.Faults, n.PowerCapWatts)
+		buf.WriteString("cfg:")
+		cfg.WriteCanonical(&buf)
+		sum := sha256.Sum256(buf.Bytes())
+		want := hex.EncodeToString(sum[:])
+
+		got, err := s.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("spec %+v: digest %s != fmt reference %s", s, got, want)
+		}
+		gotN, err := n.DigestNormalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != want {
+			t.Errorf("spec %+v: DigestNormalized %s != fmt reference %s", s, gotN, want)
+		}
 	}
 }

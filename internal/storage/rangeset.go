@@ -108,29 +108,49 @@ func (s *RangeSet) Add(r Range) {
 }
 
 // Remove deletes [r.Start, r.End) from the set, splitting ranges that
-// straddle the boundary.
+// straddle the boundary. It edits the range slice in place: only the
+// first and last overlapped ranges can leave fragments behind, so a
+// removal is a bounded window rewrite plus one tail move, never a copy
+// of the whole set (this sits under every page-cache write-back).
 func (s *RangeSet) Remove(r Range) {
 	if r.Empty() {
 		return
 	}
 	i := s.firstAtOrAfter(r.Start)
-	// Snapshot the tail: appends to out may otherwise overwrite entries
-	// before they are read (out aliases the same backing array).
-	tail := append([]Range(nil), s.ranges[i:]...)
-	out := s.ranges[:i]
-	for _, cur := range tail {
-		if !cur.Overlaps(r) {
-			out = append(out, cur)
-			continue
-		}
-		if cur.Start < r.Start {
-			out = append(out, Range{cur.Start, r.Start})
-		}
-		if cur.End > r.End {
-			out = append(out, Range{r.End, cur.End})
-		}
+	j := i
+	for j < len(s.ranges) && s.ranges[j].Start < r.End {
+		j++
 	}
-	s.ranges = out
+	if i == j {
+		return // nothing overlaps
+	}
+	// Every range in [i, j) overlaps r. Fragments survive only at the
+	// window edges.
+	left := Range{s.ranges[i].Start, r.Start}
+	right := Range{r.End, s.ranges[j-1].End}
+	frags := 0
+	if !left.Empty() {
+		frags++
+	}
+	if !right.Empty() {
+		frags++
+	}
+	switch d := (j - i) - frags; {
+	case d < 0:
+		// One range splits into two: open one slot at j.
+		s.ranges = append(s.ranges, Range{})
+		copy(s.ranges[j+1:], s.ranges[j:])
+	case d > 0:
+		s.ranges = append(s.ranges[:i+frags], s.ranges[j:]...)
+	}
+	k := i
+	if !left.Empty() {
+		s.ranges[k] = left
+		k++
+	}
+	if !right.Empty() {
+		s.ranges[k] = right
+	}
 }
 
 // Contains reports whether every byte of r is in the set.

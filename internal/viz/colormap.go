@@ -17,6 +17,23 @@ type Colormap struct {
 	name   string
 	stops  []float64
 	colors []color.RGBA
+	// lut accelerates the per-pixel stop search: lut[b] is a lower bound
+	// on the segment index for every t in bucket [b/256, (b+1)/256), so
+	// Map starts there and walks at most a stop or two instead of binary
+	// searching. Nil when the map has too many stops for uint8 indices
+	// (then Map falls back to sort.SearchFloat64s).
+	lut []uint8
+	// seg holds each segment's endpoint colors pre-widened to float64
+	// (base and exact integer delta), sparing the render fill the six
+	// uint8 conversions per pixel. seg[i] spans stops[i]..stops[i+1].
+	seg []cmSegment
+}
+
+// cmSegment is one colormap segment's interpolation state. The deltas
+// are exact (integer differences within float64 range), so
+// base + f*delta + 0.5 computes bit-identically to lerp8.
+type cmSegment struct {
+	r0, dr, g0, dg, b0, db float64
 }
 
 // NewColormap builds a colormap from sorted control points. It panics
@@ -31,7 +48,29 @@ func NewColormap(name string, stops []float64, colors []color.RGBA) *Colormap {
 	if stops[0] != 0 || stops[len(stops)-1] != 1 {
 		panic("viz: colormap must span [0, 1]")
 	}
-	return &Colormap{name: name, stops: stops, colors: colors}
+	c := &Colormap{name: name, stops: stops, colors: colors}
+	c.seg = make([]cmSegment, len(stops)-1)
+	for i := range c.seg {
+		a, b := colors[i], colors[i+1]
+		c.seg[i] = cmSegment{
+			r0: float64(a.R), dr: float64(b.R) - float64(a.R),
+			g0: float64(a.G), dg: float64(b.G) - float64(a.G),
+			b0: float64(a.B), db: float64(b.B) - float64(a.B),
+		}
+	}
+	if len(stops) <= 255 {
+		c.lut = make([]uint8, 256)
+		for b := 0; b < 256; b++ {
+			// Smallest index whose stop is >= the bucket's lower edge —
+			// never above SearchFloat64s' answer for any t in the bucket.
+			i := sort.SearchFloat64s(stops, float64(b)/256)
+			if i < 1 {
+				i = 1
+			}
+			c.lut[b] = uint8(i)
+		}
+	}
+	return c
 }
 
 // Name returns the colormap name.
@@ -45,7 +84,19 @@ func (c *Colormap) Map(t float64) color.RGBA {
 	if t >= 1 {
 		return c.colors[len(c.colors)-1]
 	}
-	i := sort.SearchFloat64s(c.stops, t)
+	// Find the smallest i with stops[i] >= t — exactly what
+	// sort.SearchFloat64s(stops, t) returns. The lut gives a lower bound
+	// for t's bucket (clamped to >= 1, valid because stops[0] == 0 < t),
+	// and by monotonicity the forward walk lands on the same index.
+	var i int
+	if c.lut != nil {
+		i = int(c.lut[int(t*256)])
+		for c.stops[i] < t {
+			i++
+		}
+	} else {
+		i = sort.SearchFloat64s(c.stops, t)
+	}
 	// stops[i-1] < t <= stops[i]; i >= 1 because stops[0] == 0 < t.
 	lo, hi := c.stops[i-1], c.stops[i]
 	f := (t - lo) / (hi - lo)

@@ -7,9 +7,21 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/field"
 )
+
+// compressScratch recycles the per-call quantization buffer and the
+// DEFLATE writer: in-situ compression runs once per visualization
+// event, and a fresh flate.Writer is a ~700 KiB allocation. A Reset
+// writer produces byte-identical output to a fresh one.
+type compressScratch struct {
+	raw []byte
+	fw  *flate.Writer
+}
+
+var compressPool = sync.Pool{New: func() any { return new(compressScratch) }}
 
 // CompressField implements application-driven field compression in the
 // spirit of Wang et al. [22]: the field is quantized to 16-bit values
@@ -22,8 +34,14 @@ func CompressField(g *field.Grid) ([]byte, error) {
 	if span == 0 {
 		span = 1
 	}
+	sc := compressPool.Get().(*compressScratch)
+	defer compressPool.Put(sc)
 	// Header: dims + range, then 16-bit quantized samples.
-	raw := make([]byte, 24+len(g.Data)*2)
+	need := 24 + len(g.Data)*2
+	if cap(sc.raw) < need {
+		sc.raw = make([]byte, need)
+	}
+	raw := sc.raw[:need]
 	binary.LittleEndian.PutUint32(raw[0:], uint32(g.NX))
 	binary.LittleEndian.PutUint32(raw[4:], uint32(g.NY))
 	binary.LittleEndian.PutUint64(raw[8:], math.Float64bits(lo))
@@ -38,14 +56,19 @@ func CompressField(g *field.Grid) ([]byte, error) {
 		prev = q
 	}
 	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
+	if sc.fw == nil {
+		w, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		sc.fw = w
+	} else {
+		sc.fw.Reset(&buf)
+	}
+	if _, err := sc.fw.Write(raw); err != nil {
 		return nil, err
 	}
-	if _, err := w.Write(raw); err != nil {
-		return nil, err
-	}
-	if err := w.Close(); err != nil {
+	if err := sc.fw.Close(); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil

@@ -21,22 +21,59 @@ func MarchingSquaresInto(dst []Segment, g *heat.Grid, level float64) ([]Segment,
 	return marchingSquaresRows(dst, g, level, 0, g.NY-1)
 }
 
+// Cell edges, the coordinates a contour segment endpoint can lie on.
+const (
+	edgeTop = iota
+	edgeBottom
+	edgeLeft
+	edgeRight
+	edgeNone = 255
+)
+
+// msTable maps a cell's corner classification (tl<<3 | tr<<2 | br<<1 |
+// bl) to the edges its contour segment crosses, endpoint order
+// included. The ambiguous saddles (5 and 10) emit two segments and are
+// resolved against the cell-center average at scan time.
+var msTable = [16][2]uint8{
+	0:  {edgeNone, edgeNone},
+	1:  {edgeLeft, edgeBottom},  // bl isolated
+	2:  {edgeBottom, edgeRight}, // br isolated
+	3:  {edgeLeft, edgeRight},   // bottom half
+	4:  {edgeTop, edgeRight},    // tr isolated
+	5:  {edgeNone, edgeNone},    // saddle: tl+br
+	6:  {edgeTop, edgeBottom},   // right half
+	7:  {edgeLeft, edgeTop},     // tl isolated (inverted)
+	8:  {edgeLeft, edgeTop},     // tl isolated
+	9:  {edgeTop, edgeBottom},   // left half
+	10: {edgeNone, edgeNone},    // saddle: tr+bl
+	11: {edgeTop, edgeRight},
+	12: {edgeLeft, edgeRight}, // top half
+	13: {edgeBottom, edgeRight},
+	14: {edgeLeft, edgeBottom},
+	15: {edgeNone, edgeNone},
+}
+
 // marchingSquaresRows extracts the contour of cell rows [y0, y1) only.
 // Cells are scanned in ascending (y, x) order, so concatenating the
 // results of contiguous ascending row bands reproduces the full-grid
 // segment sequence exactly — the property the parallel renderer's
 // ordered merge relies on.
+//
+// The scan classifies each cell with the msTable lookup and hoists the
+// two corner rows into slices, so the common empty/full cells cost four
+// comparisons and a table read with no per-cell closures or At calls.
 func marchingSquaresRows(dst []Segment, g *heat.Grid, level float64, y0, y1 int) ([]Segment, int) {
 	segs := dst
-	cells := 0
+	nx := g.NX
 	for y := y0; y < y1; y++ {
-		for x := 0; x < g.NX-1; x++ {
-			cells++
-			// Corner values: tl, tr, br, bl.
-			tl := g.At(x, y)
-			tr := g.At(x+1, y)
-			br := g.At(x+1, y+1)
-			bl := g.At(x, y+1)
+		rowT := g.Data[y*nx : y*nx+nx]
+		rowB := g.Data[(y+1)*nx : (y+1)*nx+nx]
+		fy := float64(y)
+		fy1 := float64(y + 1)
+		tl, bl := rowT[0], rowB[0]
+		for x := 0; x < nx-1; x++ {
+			tr := rowT[x+1]
+			br := rowB[x+1]
 
 			idx := 0
 			if tl >= level {
@@ -51,80 +88,58 @@ func marchingSquaresRows(dst []Segment, g *heat.Grid, level float64, y0, y1 int)
 			if bl >= level {
 				idx |= 1
 			}
-			if idx == 0 || idx == 15 {
-				continue
-			}
-
-			// Interpolated crossing points on each edge.
-			top := func() (float64, float64) { return float64(x) + frac(tl, tr, level), float64(y) }
-			bottom := func() (float64, float64) { return float64(x) + frac(bl, br, level), float64(y + 1) }
-			left := func() (float64, float64) { return float64(x), float64(y) + frac(tl, bl, level) }
-			right := func() (float64, float64) { return float64(x + 1), float64(y) + frac(tr, br, level) }
-
-			emit := func(ax, ay, bx, by float64) {
-				segs = append(segs, Segment{ax, ay, bx, by})
-			}
-			switch idx {
-			case 1, 14: // bl isolated
-				ax, ay := left()
-				bx, by := bottom()
-				emit(ax, ay, bx, by)
-			case 2, 13: // br isolated
-				ax, ay := bottom()
-				bx, by := right()
-				emit(ax, ay, bx, by)
-			case 3, 12: // bottom half
-				ax, ay := left()
-				bx, by := right()
-				emit(ax, ay, bx, by)
-			case 4, 11: // tr isolated
-				ax, ay := top()
-				bx, by := right()
-				emit(ax, ay, bx, by)
-			case 6, 9: // right half
-				ax, ay := top()
-				bx, by := bottom()
-				emit(ax, ay, bx, by)
-			case 7, 8: // tl isolated
-				ax, ay := left()
-				bx, by := top()
-				emit(ax, ay, bx, by)
-			case 5: // saddle: tl+br ambiguous, resolve by center average
-				if (tl+tr+br+bl)/4 >= level {
-					ax, ay := left()
-					bx, by := top()
-					emit(ax, ay, bx, by)
-					cx, cy := bottom()
-					dx, dy := right()
-					emit(cx, cy, dx, dy)
+			if idx != 0 && idx != 15 {
+				e := msTable[idx]
+				if e[0] != edgeNone {
+					segs = append(segs, Segment{})
+					s := &segs[len(segs)-1]
+					s.X0, s.Y0 = edgePoint(e[0], x, fy, fy1, tl, tr, bl, br, level)
+					s.X1, s.Y1 = edgePoint(e[1], x, fy, fy1, tl, tr, bl, br, level)
 				} else {
-					ax, ay := left()
-					bx, by := bottom()
-					emit(ax, ay, bx, by)
-					cx, cy := top()
-					dx, dy := right()
-					emit(cx, cy, dx, dy)
-				}
-			case 10: // saddle: tr+bl
-				if (tl+tr+br+bl)/4 >= level {
-					ax, ay := top()
-					bx, by := right()
-					emit(ax, ay, bx, by)
-					cx, cy := left()
-					dx, dy := bottom()
-					emit(cx, cy, dx, dy)
-				} else {
-					ax, ay := left()
-					bx, by := top()
-					emit(ax, ay, bx, by)
-					cx, cy := bottom()
-					dx, dy := right()
-					emit(cx, cy, dx, dy)
+					// Saddle: two segments, disambiguated by the center.
+					var a, b [2]uint8
+					if center := (tl + tr + br + bl) / 4; idx == 5 {
+						if center >= level {
+							a = [2]uint8{edgeLeft, edgeTop}
+							b = [2]uint8{edgeBottom, edgeRight}
+						} else {
+							a = [2]uint8{edgeLeft, edgeBottom}
+							b = [2]uint8{edgeTop, edgeRight}
+						}
+					} else if center >= level {
+						a = [2]uint8{edgeTop, edgeRight}
+						b = [2]uint8{edgeLeft, edgeBottom}
+					} else {
+						a = [2]uint8{edgeLeft, edgeTop}
+						b = [2]uint8{edgeBottom, edgeRight}
+					}
+					var s Segment
+					s.X0, s.Y0 = edgePoint(a[0], x, fy, fy1, tl, tr, bl, br, level)
+					s.X1, s.Y1 = edgePoint(a[1], x, fy, fy1, tl, tr, bl, br, level)
+					segs = append(segs, s)
+					s.X0, s.Y0 = edgePoint(b[0], x, fy, fy1, tl, tr, bl, br, level)
+					s.X1, s.Y1 = edgePoint(b[1], x, fy, fy1, tl, tr, bl, br, level)
+					segs = append(segs, s)
 				}
 			}
+			tl, bl = tr, br
 		}
 	}
-	return segs, cells
+	return segs, (y1 - y0) * (nx - 1)
+}
+
+// edgePoint returns the interpolated contour crossing on one cell edge.
+func edgePoint(e uint8, x int, fy, fy1, tl, tr, bl, br, level float64) (float64, float64) {
+	switch e {
+	case edgeTop:
+		return float64(x) + frac(tl, tr, level), fy
+	case edgeBottom:
+		return float64(x) + frac(bl, br, level), fy1
+	case edgeLeft:
+		return float64(x), fy + frac(tl, bl, level)
+	default:
+		return float64(x + 1), fy + frac(tr, br, level)
+	}
 }
 
 // frac returns the interpolation fraction where the level crosses

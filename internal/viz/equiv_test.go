@@ -1,0 +1,210 @@
+package viz
+
+import (
+	"image/color"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/heat"
+)
+
+// referenceMap is Colormap.Map as written before the lookup-table
+// acceleration: binary search over the stops, then lerp8. The
+// accelerated Map must agree bit for bit on every input.
+func referenceMap(c *Colormap, t float64) color.RGBA {
+	if t <= 0 {
+		return c.colors[0]
+	}
+	if t >= 1 {
+		return c.colors[len(c.colors)-1]
+	}
+	i := sort.SearchFloat64s(c.stops, t)
+	lo, hi := c.stops[i-1], c.stops[i]
+	f := (t - lo) / (hi - lo)
+	a, b := c.colors[i-1], c.colors[i]
+	return color.RGBA{
+		R: lerp8(a.R, b.R, f),
+		G: lerp8(a.G, b.G, f),
+		B: lerp8(a.B, b.B, f),
+		A: 255,
+	}
+}
+
+// TestMapMatchesReference exercises the lut-accelerated Map against
+// the binary-search reference over randomized inputs, exact stop
+// values, and the lut bucket boundaries — the places an off-by-one in
+// the table would surface.
+func TestMapMatchesReference(t *testing.T) {
+	// A dense irregular map alongside the built-ins so lut buckets
+	// spanning several stops get exercised too.
+	stops := []float64{0, 0.001, 0.002, 0.1, 0.10001, 0.5, 0.73, 0.74, 0.999, 1}
+	colors := make([]color.RGBA, len(stops))
+	rng := rand.New(rand.NewSource(3))
+	for i := range colors {
+		colors[i] = color.RGBA{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256)), 255}
+	}
+	maps := []*Colormap{Inferno(), CoolWarm(), Grayscale(), NewColormap("dense", stops, colors)}
+	for _, cm := range maps {
+		if cm.lut == nil {
+			t.Fatalf("%s: expected lut acceleration", cm.Name())
+		}
+		check := func(v float64) {
+			t.Helper()
+			if got, want := cm.Map(v), referenceMap(cm, v); got != want {
+				t.Fatalf("%s: Map(%v) = %v, reference %v", cm.Name(), v, got, want)
+			}
+		}
+		for i := 0; i < 100000; i++ {
+			check(rng.Float64()*1.2 - 0.1)
+		}
+		for _, s := range cm.stops {
+			check(s)
+		}
+		for b := 0; b <= 256; b++ {
+			v := float64(b) / 256
+			check(v)
+			check(v - 1e-16)
+			check(v + 1e-16)
+		}
+	}
+}
+
+// referenceMarchingSquares is the cell scan as written before the
+// table-driven restructuring: per-cell At loads and closure-built
+// edge points. The rewritten scan must emit the identical segment
+// sequence and cell count.
+func referenceMarchingSquares(g *heat.Grid, level float64) ([]Segment, int) {
+	var segs []Segment
+	cells := 0
+	for y := 0; y < g.NY-1; y++ {
+		for x := 0; x < g.NX-1; x++ {
+			cells++
+			tl := g.At(x, y)
+			tr := g.At(x+1, y)
+			br := g.At(x+1, y+1)
+			bl := g.At(x, y+1)
+
+			idx := 0
+			if tl >= level {
+				idx |= 8
+			}
+			if tr >= level {
+				idx |= 4
+			}
+			if br >= level {
+				idx |= 2
+			}
+			if bl >= level {
+				idx |= 1
+			}
+			if idx == 0 || idx == 15 {
+				continue
+			}
+
+			top := func() (float64, float64) { return float64(x) + frac(tl, tr, level), float64(y) }
+			bottom := func() (float64, float64) { return float64(x) + frac(bl, br, level), float64(y + 1) }
+			left := func() (float64, float64) { return float64(x), float64(y) + frac(tl, bl, level) }
+			right := func() (float64, float64) { return float64(x + 1), float64(y) + frac(tr, br, level) }
+
+			emit := func(ax, ay, bx, by float64) {
+				segs = append(segs, Segment{ax, ay, bx, by})
+			}
+			switch idx {
+			case 1, 14:
+				ax, ay := left()
+				bx, by := bottom()
+				emit(ax, ay, bx, by)
+			case 2, 13:
+				ax, ay := bottom()
+				bx, by := right()
+				emit(ax, ay, bx, by)
+			case 3, 12:
+				ax, ay := left()
+				bx, by := right()
+				emit(ax, ay, bx, by)
+			case 4, 11:
+				ax, ay := top()
+				bx, by := right()
+				emit(ax, ay, bx, by)
+			case 6, 9:
+				ax, ay := top()
+				bx, by := bottom()
+				emit(ax, ay, bx, by)
+			case 7, 8:
+				ax, ay := left()
+				bx, by := top()
+				emit(ax, ay, bx, by)
+			case 5:
+				if (tl+tr+br+bl)/4 >= level {
+					ax, ay := left()
+					bx, by := top()
+					emit(ax, ay, bx, by)
+					cx, cy := bottom()
+					dx, dy := right()
+					emit(cx, cy, dx, dy)
+				} else {
+					ax, ay := left()
+					bx, by := bottom()
+					emit(ax, ay, bx, by)
+					cx, cy := top()
+					dx, dy := right()
+					emit(cx, cy, dx, dy)
+				}
+			case 10:
+				if (tl+tr+br+bl)/4 >= level {
+					ax, ay := top()
+					bx, by := right()
+					emit(ax, ay, bx, by)
+					cx, cy := left()
+					dx, dy := bottom()
+					emit(cx, cy, dx, dy)
+				} else {
+					ax, ay := left()
+					bx, by := top()
+					emit(ax, ay, bx, by)
+					cx, cy := bottom()
+					dx, dy := right()
+					emit(cx, cy, dx, dy)
+				}
+			}
+		}
+	}
+	return segs, cells
+}
+
+// TestMarchingSquaresMatchesReference compares the table-driven scan
+// against the closure-based reference over randomized grids. Values
+// are drawn from a small set around the level so saddle cells, exact
+// ties (corner == level), and flat edges (a == b) all occur often.
+func TestMarchingSquaresMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	levels := []float64{0.5}
+	quantized := []float64{0, 0.25, 0.5, 0.75, 1}
+	for trial := 0; trial < 60; trial++ {
+		nx := 2 + rng.Intn(30)
+		ny := 2 + rng.Intn(30)
+		g := heat.NewGrid(nx, ny)
+		if trial%2 == 0 {
+			for i := range g.Data {
+				g.Data[i] = quantized[rng.Intn(len(quantized))]
+			}
+		} else {
+			for i := range g.Data {
+				g.Data[i] = rng.Float64()
+			}
+		}
+		for _, level := range levels {
+			gotSegs, gotCells := MarchingSquares(g, level)
+			wantSegs, wantCells := referenceMarchingSquares(g, level)
+			if gotCells != wantCells {
+				t.Fatalf("trial %d (%dx%d): cells = %d, reference %d", trial, nx, ny, gotCells, wantCells)
+			}
+			if !reflect.DeepEqual(gotSegs, wantSegs) {
+				t.Fatalf("trial %d (%dx%d): %d segments != reference %d\n got %v\nwant %v",
+					trial, nx, ny, len(gotSegs), len(wantSegs), gotSegs, wantSegs)
+			}
+		}
+	}
+}

@@ -4,13 +4,31 @@ import (
 	"bytes"
 	"image"
 	"image/png"
+	"sync"
 )
 
+// pngBuffers recycles the PNG encoder's working state — including its
+// zlib writer, whose construction dominates a fresh encode's
+// allocations — across frames. Reused encoders are Reset by the stdlib
+// and produce byte-identical output.
+type pngBufferPool struct{ p sync.Pool }
+
+func (pp *pngBufferPool) Get() *png.EncoderBuffer {
+	b, _ := pp.p.Get().(*png.EncoderBuffer)
+	return b
+}
+
+func (pp *pngBufferPool) Put(b *png.EncoderBuffer) { pp.p.Put(b) }
+
+var pngBuffers pngBufferPool
+
 // EncodePNG serializes a frame to PNG bytes — the artifact both
-// pipelines write to disk per visualization event.
+// pipelines write to disk per visualization event. The encoder's
+// internal buffers come from a shared pool, so per-frame allocation is
+// just the returned blob.
 func EncodePNG(img image.Image) ([]byte, error) {
 	var buf bytes.Buffer
-	enc := png.Encoder{CompressionLevel: png.BestSpeed}
+	enc := png.Encoder{CompressionLevel: png.BestSpeed, BufferPool: &pngBuffers}
 	if err := enc.Encode(&buf, img); err != nil {
 		return nil, err
 	}

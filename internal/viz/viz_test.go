@@ -235,6 +235,10 @@ func BenchmarkRender512(b *testing.B) {
 	opts := RenderOptions{Width: 512, Height: 512, Isolines: []float64{25, 50, 75}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Render(g, opts)
+		img, _ := Render(g, opts)
+		// Hand the frame back like the pipelines do — otherwise the bench
+		// charges a fresh 1 MiB raster to every iteration and measures the
+		// allocator, not the renderer.
+		ReleaseFrame(img)
 	}
 }

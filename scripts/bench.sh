@@ -37,7 +37,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 raw="$(mktemp)"
 rawk="$(mktemp)"
 trap 'rm -f "$raw" "$rawk"' EXIT
